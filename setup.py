@@ -1,0 +1,30 @@
+"""Setup script.
+
+A classic setuptools setup.py is used (rather than a PEP 517 [project] table)
+so that ``pip install -e .`` works in fully offline environments without
+build isolation or the ``wheel`` package.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reservoir Sampling over Joins (SIGMOD 2024) — a full reproduction in pure Python"
+    ),
+    long_description=open("README.md").read() if __import__("os").path.exists("README.md") else "",
+    long_description_content_type="text/markdown",
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=[
+        "numpy",
+        "scipy",
+        "networkx",
+    ],
+    extras_require={
+        "dev": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
+    license="MIT",
+)

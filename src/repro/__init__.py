@@ -1,0 +1,51 @@
+"""repro — a full reproduction of "Reservoir Sampling over Joins" (SIGMOD 2024).
+
+The most commonly used entry points are re-exported at the package root:
+
+* :class:`~repro.core.reservoir_join.ReservoirJoin` — maintain ``k`` uniform
+  samples of an acyclic join over a tuple stream (the paper's RSJoin).
+* :class:`~repro.index.dynamic_index.DynamicJoinIndex` — the dynamic index of
+  Theorem 4.2, including full-join sampling.
+* :class:`~repro.relational.query.JoinQuery` /
+  :class:`~repro.relational.stream.StreamTuple` — how queries and streams are
+  described.
+
+See ``examples/quickstart.py`` for a five-minute tour.
+"""
+
+from .relational.query import JoinQuery
+from .relational.schema import KeyConstraint, RelationSchema
+from .relational.stream import StreamTuple
+from .core.reservoir import ReservoirSampler, SkipReservoirSampler
+from .core.predicate_reservoir import PredicateReservoir
+from .core.batch_reservoir import BatchedPredicateReservoir
+from .core.reservoir_join import ReservoirJoin
+from .index.dynamic_index import DynamicJoinIndex
+from .index.two_table import TwoTableIndex
+from .index.foreign_key import ForeignKeyCombiner
+from .cyclic.cyclic_join import CyclicReservoirJoin
+from .cyclic.ghd import GHD
+from .baselines.sjoin import SJoin
+from .baselines.symmetric import SymmetricHashJoinSampler
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "JoinQuery",
+    "KeyConstraint",
+    "RelationSchema",
+    "StreamTuple",
+    "ReservoirSampler",
+    "SkipReservoirSampler",
+    "PredicateReservoir",
+    "BatchedPredicateReservoir",
+    "ReservoirJoin",
+    "DynamicJoinIndex",
+    "TwoTableIndex",
+    "ForeignKeyCombiner",
+    "CyclicReservoirJoin",
+    "GHD",
+    "SJoin",
+    "SymmetricHashJoinSampler",
+    "__version__",
+]

@@ -1,0 +1,12 @@
+"""Baseline samplers the paper compares against."""
+
+from .sjoin import ExactTreeIndex, SJoin
+from .symmetric import SymmetricHashJoinSampler
+from .naive import NaiveRecomputeSampler
+
+__all__ = [
+    "ExactTreeIndex",
+    "SJoin",
+    "SymmetricHashJoinSampler",
+    "NaiveRecomputeSampler",
+]

@@ -1,0 +1,34 @@
+"""Core sampling algorithms: reservoirs, predicates, batches and the join sampler."""
+
+from .skippable import (
+    END_OF_STREAM,
+    Batch,
+    FunctionBatch,
+    ListBatch,
+    ListStream,
+    SkippableStream,
+    is_real,
+)
+from .reservoir import ReservoirSampler, SkipReservoirSampler, geometric_skip
+from .predicate_reservoir import PredicateReservoir, expected_stop_bound
+from .batch_reservoir import BatchedPredicateReservoir
+from .reservoir_join import ReservoirJoin
+from . import density
+
+__all__ = [
+    "END_OF_STREAM",
+    "Batch",
+    "FunctionBatch",
+    "ListBatch",
+    "ListStream",
+    "SkippableStream",
+    "is_real",
+    "ReservoirSampler",
+    "SkipReservoirSampler",
+    "geometric_skip",
+    "PredicateReservoir",
+    "expected_stop_bound",
+    "BatchedPredicateReservoir",
+    "ReservoirJoin",
+    "density",
+]

@@ -1,0 +1,107 @@
+"""Batched reservoir sampling with a predicate (Section 3.3, Algorithms 4/5).
+
+The join sampler feeds the reservoir one *batch* per arriving tuple: the
+batch is the (never materialised) delta array ``ΔJ ⊇ ΔQ(R, t)``.  The batched
+sampler behaves exactly as if Algorithm 1 ran over the concatenation of all
+batches; the only extra machinery is carrying a pending skip count across
+batch boundaries (a ``skip(q)`` may run off the end of the current batch).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Generic, List, Optional, TypeVar
+
+from .reservoir import _uniform, geometric_skip
+from .skippable import Batch, is_real
+
+T = TypeVar("T")
+
+
+class BatchedPredicateReservoir(Generic[T]):
+    """Algorithms 4 and 5: reservoir sampling with a predicate over batches.
+
+    The sampler is fed item-disjoint batches one at a time through
+    :meth:`process_batch` and maintains ``k`` uniform samples without
+    replacement over the real items of all batches processed so far.
+
+    Statistics useful for the experiments:
+
+    ``items_total``
+        Total (conceptual) length of all batches seen, i.e. the length of the
+        simulated join-result stream.
+    ``items_examined``
+        How many batch positions were actually retrieved — the work that the
+        skip mechanism saves is ``items_total - items_examined``.
+    ``real_stops``
+        How many examined items were real.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        predicate: Callable[[T], bool] = is_real,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if k <= 0:
+            raise ValueError("sample size k must be positive")
+        self.k = k
+        self.predicate = predicate
+        self._rng = rng if rng is not None else random.Random()
+        self._sample: List[T] = []
+        # w = +inf is the "not yet initialised" sentinel of Algorithm 4 line 1:
+        # it is initialised exactly once, the first time the reservoir fills.
+        self._w = math.inf
+        self._pending_skip = 0
+        self.items_total = 0
+        self.items_examined = 0
+        self.real_stops = 0
+        self.batches_processed = 0
+
+    # ------------------------------------------------------------------ #
+    # Public interface
+    # ------------------------------------------------------------------ #
+    @property
+    def sample(self) -> List[T]:
+        """The current reservoir (a copy)."""
+        return list(self._sample)
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the reservoir holds ``k`` items."""
+        return len(self._sample) >= self.k
+
+    def __len__(self) -> int:
+        return len(self._sample)
+
+    def process_batch(self, batch: Batch[T]) -> None:
+        """Algorithm 5 (``BatchUpdate``): fold one batch into the reservoir."""
+        self.batches_processed += 1
+        self.items_total += len(batch)
+        # Fill phase: while the reservoir is not yet full, every item must be
+        # examined (nothing can be skipped safely).
+        while len(self._sample) < self.k and batch.remain() > 0:
+            item = batch.next()
+            self.items_examined += 1
+            if self.predicate(item):
+                self.real_stops += 1
+                self._sample.append(item)
+        if len(self._sample) < self.k:
+            return
+        if math.isinf(self._w):
+            # First time the reservoir is full: initialise w and the skip.
+            self._w = _uniform(self._rng) ** (1.0 / self.k)
+            self._pending_skip = geometric_skip(self._w, self._rng)
+        # Skip phase within this batch.
+        while batch.remain() > self._pending_skip:
+            item = batch.skip(self._pending_skip)
+            self.items_examined += 1
+            if self.predicate(item):
+                self.real_stops += 1
+                self._sample[self._rng.randrange(self.k)] = item
+                self._w *= _uniform(self._rng) ** (1.0 / self.k)
+            self._pending_skip = geometric_skip(self._w, self._rng)
+        # The remaining items of the batch are all skipped; carry the
+        # outstanding skip count over to the next batch.
+        self._pending_skip -= batch.remain()

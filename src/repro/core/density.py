@@ -1,0 +1,131 @@
+"""Dense streams and the combinator lemmas of Section 3.2.
+
+A stream is *φ-dense* (Definition 3.4) if, for every prefix, the number of
+real items among the first ``i`` items is at least ``φ·i`` (equivalently,
+``r_i ≥ φ·(i-1)`` in the paper's indexing).  The three lemmas used in the
+density analysis of the join batches are exposed here both as stream
+combinators (so they can be property-tested) and as the corresponding bounds:
+
+* Lemma 3.6 — concatenation preserves ``min(φ1, φ2)``-density;
+* Lemma 3.7 — the Cartesian product of a φ1- and a φ2-dense stream is
+  ``φ1·φ2/2``-dense (an item of the product is real iff both factors are);
+* Lemma 3.8 — padding ``n`` dummies after an ``m``-item φ-dense stream yields
+  a ``φ·m/(m+n)``-dense stream.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+U = TypeVar("U")
+
+#: A labelled item: (payload, is_real)
+LabelledItem = Tuple[object, bool]
+
+
+def label_items(items: Iterable[T], predicate: Callable[[T], bool]) -> List[LabelledItem]:
+    """Attach real/dummy labels to items using ``predicate``."""
+    return [(item, bool(predicate(item))) for item in items]
+
+
+def density(labelled: Sequence[LabelledItem]) -> float:
+    """The largest φ for which the labelled stream is φ-dense.
+
+    Empty streams are vacuously 1-dense.  The value is
+    ``min_i (q_i / i)`` where ``q_i`` counts real items among the first ``i``.
+    """
+    if not labelled:
+        return 1.0
+    best = 1.0
+    real_so_far = 0
+    for position, (_, real) in enumerate(labelled, start=1):
+        if real:
+            real_so_far += 1
+        best = min(best, real_so_far / position)
+    return best
+
+
+def is_dense(labelled: Sequence[LabelledItem], phi: float) -> bool:
+    """Whether the labelled stream is φ-dense (Definition 3.4)."""
+    real_so_far = 0
+    for position, (_, real) in enumerate(labelled, start=1):
+        if real:
+            real_so_far += 1
+        # Use a tiny tolerance so exact rational thresholds (e.g. 1/2) pass.
+        if real_so_far + 1e-12 < phi * position:
+            return False
+    return True
+
+
+def real_prefix_counts(labelled: Sequence[LabelledItem]) -> List[int]:
+    """``r_i`` for every ``i``: real items among the first ``i - 1`` items."""
+    counts: List[int] = []
+    real_so_far = 0
+    for _, real in labelled:
+        counts.append(real_so_far)
+        if real:
+            real_so_far += 1
+    return counts
+
+
+# ---------------------------------------------------------------------- #
+# Combinators corresponding to the lemmas
+# ---------------------------------------------------------------------- #
+def concatenate(first: Sequence[LabelledItem], second: Sequence[LabelledItem]) -> List[LabelledItem]:
+    """Lemma 3.6 combinator: stream concatenation."""
+    return list(first) + list(second)
+
+
+def cartesian_product(
+    first: Sequence[LabelledItem], second: Sequence[LabelledItem]
+) -> List[LabelledItem]:
+    """Lemma 3.7 combinator: row-major Cartesian product of two streams.
+
+    The produced item is real iff both source items are real.
+    """
+    product: List[LabelledItem] = []
+    for item_a, real_a in first:
+        for item_b, real_b in second:
+            product.append(((item_a, item_b), real_a and real_b))
+    return product
+
+
+def pad_with_dummies(stream: Sequence[LabelledItem], count: int) -> List[LabelledItem]:
+    """Lemma 3.8 combinator: append ``count`` dummy items."""
+    if count < 0:
+        raise ValueError("cannot pad a negative number of dummies")
+    return list(stream) + [(None, False)] * count
+
+
+# ---------------------------------------------------------------------- #
+# The density bounds promised by the lemmas
+# ---------------------------------------------------------------------- #
+def concat_density_bound(phi1: float, phi2: float) -> float:
+    """Lemma 3.6: the concatenation is at least ``min(φ1, φ2)``-dense."""
+    return min(phi1, phi2)
+
+
+def product_density_bound(phi1: float, phi2: float) -> float:
+    """Lemma 3.7: the Cartesian product is at least ``φ1·φ2/2``-dense."""
+    return phi1 * phi2 / 2.0
+
+
+def padding_density_bound(phi: float, size: int, padding: int) -> float:
+    """Lemma 3.8: padding ``padding`` dummies keeps ``φ·m/(m+n)`` density."""
+    if size <= 0:
+        return 0.0 if padding > 0 else 1.0
+    return phi * size / (size + padding)
+
+
+def batch_density_bound(subtree_size: int, full_tuple: bool) -> float:
+    """Density guarantee of the batches produced by Algorithm 8 (Section 4.3).
+
+    A batch generated for a tuple ``t ∈ R_e`` is ``(1/2)^(2|T_e| - 2)``-dense;
+    a batch generated for a key tuple ``t ∈ π_key(e) R_e`` is
+    ``(1/2)^(2|T_e| - 1)``-dense.
+    """
+    if subtree_size <= 0:
+        raise ValueError("subtree size must be positive")
+    exponent = 2 * subtree_size - (2 if full_tuple else 1)
+    return 0.5 ** max(exponent, 0)

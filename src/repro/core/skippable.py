@@ -1,0 +1,168 @@
+"""Stream and batch protocols used by the reservoir sampling algorithms.
+
+The skip-based reservoir sampling algorithms of Section 3 access their input
+through two primitives (Section 3.2):
+
+* ``next()``  — return the next item, or :data:`END_OF_STREAM` when exhausted;
+* ``skip(i)`` — skip the next ``i`` items and return the ``(i+1)``-th item,
+  or :data:`END_OF_STREAM` when the stream ends before that.
+
+The batched variant (Section 3.3) additionally needs
+
+* ``remain()`` — the number of items left in the current batch.
+
+The join index of Section 4 produces batches whose items are join results
+addressed by position; dummy positions yield ``None`` items, which is exactly
+what the predicate filters out.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Iterable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class _EndOfStream:
+    """Singleton sentinel distinguishing stream exhaustion from dummy items.
+
+    Join batches use ``None`` for dummy positions, so ``None`` cannot double
+    as the end-of-stream marker; ``skip``/``next`` return this sentinel
+    instead when the stream runs out.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "END_OF_STREAM"
+
+
+#: Returned by ``next``/``skip`` when the stream or batch is exhausted.
+END_OF_STREAM = _EndOfStream()
+
+
+#: Default predicate: an item is *real* unless it is ``None`` (a dummy).
+def is_real(item: object) -> bool:
+    """The ``isReal`` predicate of Algorithm 6: dummies are ``None``."""
+    return item is not None
+
+
+class SkippableStream(Generic[T]):
+    """Interface for streams supporting ``next`` and constant-time ``skip``."""
+
+    def next(self):
+        """Return the next item, or :data:`END_OF_STREAM` when exhausted."""
+        return self.skip(0)
+
+    def skip(self, count: int):
+        """Skip ``count`` items and return the following one.
+
+        Returns :data:`END_OF_STREAM` when fewer than ``count + 1`` items
+        remain.
+        """
+        raise NotImplementedError
+
+
+class Batch(SkippableStream[T]):
+    """A finite, positionally addressable batch of items."""
+
+    def remain(self) -> int:
+        """Number of items not yet consumed."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class ListStream(SkippableStream[T]):
+    """A skippable stream over an in-memory sequence.
+
+    ``items_examined`` counts how many items were actually *touched* (returned
+    by ``next``/``skip``); the Section 6.3 experiments use it to show that the
+    predicate-aware sampler examines far fewer items than the classic one.
+    """
+
+    def __init__(self, items: Sequence[T]) -> None:
+        self._items = items
+        self._pos = 0
+        self.items_examined = 0
+
+    def skip(self, count: int):
+        if count < 0:
+            raise ValueError("cannot skip a negative number of items")
+        self._pos += count
+        if self._pos >= len(self._items):
+            self._pos = len(self._items)
+            return END_OF_STREAM
+        item = self._items[self._pos]
+        self._pos += 1
+        self.items_examined += 1
+        return item
+
+    @property
+    def position(self) -> int:
+        """Index of the next item to be returned."""
+        return self._pos
+
+
+class ListBatch(Batch[T]):
+    """A batch backed by an in-memory list (used heavily in tests)."""
+
+    def __init__(self, items: Sequence[T]) -> None:
+        self._items = list(items)
+        self._pos = 0
+        self.items_examined = 0
+
+    def skip(self, count: int):
+        if count < 0:
+            raise ValueError("cannot skip a negative number of items")
+        self._pos += count
+        if self._pos >= len(self._items):
+            self._pos = len(self._items)
+            return END_OF_STREAM
+        item = self._items[self._pos]
+        self._pos += 1
+        self.items_examined += 1
+        return item
+
+    def remain(self) -> int:
+        return len(self._items) - self._pos
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class FunctionBatch(Batch[T]):
+    """A lazy batch defined by a size and a position->item function.
+
+    This is the shape of the delta batches ``ΔJ`` produced by the dynamic
+    join index: the batch is never materialised; ``retrieve(z)`` computes the
+    join result at position ``z`` on demand (Algorithm 9) and returns ``None``
+    for dummy positions.
+    """
+
+    def __init__(self, size: int, retrieve: Callable[[int], Optional[T]]) -> None:
+        if size < 0:
+            raise ValueError("batch size must be non-negative")
+        self._size = size
+        self._retrieve = retrieve
+        self._pos = 0
+        self.items_examined = 0
+
+    def skip(self, count: int):
+        if count < 0:
+            raise ValueError("cannot skip a negative number of items")
+        self._pos += count
+        if self._pos >= self._size:
+            self._pos = self._size
+            return END_OF_STREAM
+        item = self._retrieve(self._pos)
+        self._pos += 1
+        self.items_examined += 1
+        return item
+
+    def remain(self) -> int:
+        return self._size - self._pos
+
+    def __len__(self) -> int:
+        return self._size

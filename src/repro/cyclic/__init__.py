@@ -1,0 +1,26 @@
+"""Extension to cyclic joins via generalized hypertree decompositions (Section 5)."""
+
+from .fractional import (
+    agm_bound,
+    bag_width,
+    fractional_edge_cover,
+    fractional_edge_cover_number,
+    induced_subquery,
+    max_join_size_exponent,
+)
+from .ghd import GHD, ghd_for, ghd_from_primal_graph, trivial_ghd
+from .cyclic_join import CyclicReservoirJoin
+
+__all__ = [
+    "agm_bound",
+    "bag_width",
+    "fractional_edge_cover",
+    "fractional_edge_cover_number",
+    "induced_subquery",
+    "max_join_size_exponent",
+    "GHD",
+    "ghd_for",
+    "ghd_from_primal_graph",
+    "trivial_ghd",
+    "CyclicReservoirJoin",
+]

@@ -1,0 +1,183 @@
+"""Reservoir sampling over cyclic joins via GHDs (Section 5).
+
+The cyclic algorithm reduces to the acyclic one: pick a GHD of the query,
+materialise each bag's sub-join incrementally, and run the acyclic
+reservoir-sampling machinery over the *bag query* (one relation per bag,
+joined along the GHD tree).  When a base tuple ``t`` arrives in relation
+``R_e``:
+
+1. every bag whose attribute set intersects ``e`` receives the projection of
+   ``t`` and its materialised sub-join grows by the bag-level delta;
+2. the new bag tuples of every bag except one designated *covering* bag
+   (a bag with ``e ⊆ λ_u``) are pushed into the acyclic index silently;
+3. the new bag tuples of the covering bag are pushed one by one, each
+   followed by its delta batch and a reservoir update — exactly lines 5-7 of
+   Algorithm 6, as the paper prescribes.
+
+Every new join result of ``Q`` uses the new tuple at ``R_e`` and therefore a
+*new* tuple of the covering bag, so it is counted exactly once; results that
+only involve previously seen bag tuples already had their chance to be
+sampled.  Total running time is ``O(N^w log N + k log N log(N/k))`` where
+``w`` is the width of the GHD used.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.batch_reservoir import BatchedPredicateReservoir
+from ..index.dynamic_index import DynamicJoinIndex
+from ..relational.database import Database
+from ..relational.join import delta_results
+from ..relational.query import JoinQuery
+from ..relational.schema import RelationSchema, canonical_attrs
+from ..relational.stream import StreamTuple
+from .ghd import GHD, ghd_for
+
+
+class CyclicReservoirJoin:
+    """Maintain ``k`` uniform samples of a (possibly cyclic) join over a stream.
+
+    Parameters
+    ----------
+    query:
+        Any natural join query.  Acyclic queries work too (the GHD degenerates
+        to the join tree and the behaviour matches :class:`ReservoirJoin`).
+    k:
+        Reservoir size.
+    ghd:
+        Optional hand-crafted :class:`GHD`; by default one is constructed
+        automatically (see :func:`repro.cyclic.ghd.ghd_for`).
+    grouping:
+        Enable the grouping optimisation inside the acyclic index over bags.
+    """
+
+    def __init__(
+        self,
+        query: JoinQuery,
+        k: int,
+        rng: Optional[random.Random] = None,
+        ghd: Optional[GHD] = None,
+        grouping: bool = False,
+    ) -> None:
+        self.query = query
+        self.k = k
+        self._rng = rng if rng is not None else random.Random()
+        self.ghd = ghd_for(query, ghd)
+        self.bag_query = self.ghd.bag_query()
+        self.index = DynamicJoinIndex(
+            self.bag_query, grouping=grouping, maintain_root=False
+        )
+        self.reservoir = BatchedPredicateReservoir(k, rng=self._rng)
+        self._seen = Database(query)  # set-semantics dedup of base tuples
+        self._chosen_bag: Dict[str, str] = {
+            name: self.ghd.covering_bag(name) for name in query.relation_names
+        }
+        self._bag_subqueries: Dict[str, JoinQuery] = {}
+        self._bag_databases: Dict[str, Database] = {}
+        self._member_name: Dict[Tuple[str, str], str] = {}
+        self._member_attrs: Dict[Tuple[str, str], Tuple[str, ...]] = {}
+        for bag_name, bag_attrs in self.ghd.bags.items():
+            bag_attr_set = set(bag_attrs)
+            members: List[RelationSchema] = []
+            for schema in query.relations:
+                shared = canonical_attrs(schema.attr_set & bag_attr_set)
+                if not shared:
+                    continue
+                member = RelationSchema(f"{bag_name}:{schema.name}", shared)
+                members.append(member)
+                self._member_name[(bag_name, schema.name)] = member.name
+                self._member_attrs[(bag_name, schema.name)] = shared
+            subquery = JoinQuery(f"{query.name}:{bag_name}", members)
+            self._bag_subqueries[bag_name] = subquery
+            self._bag_databases[bag_name] = Database(subquery)
+        self.tuples_processed = 0
+        self.duplicates_ignored = 0
+        self.bag_tuples_inserted = 0
+
+    # ------------------------------------------------------------------ #
+    # Streaming interface
+    # ------------------------------------------------------------------ #
+    def insert(self, relation: str, row: Sequence) -> None:
+        """Process one base-stream tuple."""
+        self.tuples_processed += 1
+        row = tuple(row)
+        if not self._seen.insert(relation, row):
+            self.duplicates_ignored += 1
+            return
+        chosen = self._chosen_bag[relation]
+        chosen_rows: List[tuple] = []
+        other_rows: List[Tuple[str, tuple]] = []
+        for bag_name in self.ghd.bags_touching(relation):
+            new_rows = self._bag_delta(bag_name, relation, row)
+            if bag_name == chosen:
+                chosen_rows.extend(new_rows)
+            else:
+                other_rows.extend((bag_name, bag_row) for bag_row in new_rows)
+        # Non-covering bags first: their new tuples only update the index.
+        for bag_name, bag_row in other_rows:
+            if self.index.insert(bag_name, bag_row):
+                self.bag_tuples_inserted += 1
+        # Covering bag last: each new tuple produces a delta batch.
+        for bag_row in chosen_rows:
+            if not self.index.insert(chosen, bag_row):
+                continue
+            self.bag_tuples_inserted += 1
+            self.reservoir.process_batch(self.index.delta_batch(chosen, bag_row))
+
+    def _bag_delta(self, bag_name: str, relation: str, row: tuple) -> List[tuple]:
+        """New tuples of the bag's materialised sub-join caused by ``row``."""
+        member = self._member_name[(bag_name, relation)]
+        attrs = self._member_attrs[(bag_name, relation)]
+        projection = self.query.relation(relation).project(row, attrs)
+        database = self._bag_databases[bag_name]
+        if not database.insert(member, projection):
+            return []
+        subquery = self._bag_subqueries[bag_name]
+        bag_schema = self.bag_query.relation(bag_name)
+        return [
+            bag_schema.row_from_mapping(result)
+            for result in delta_results(subquery, database, member, projection)
+        ]
+
+    def process(self, stream: Iterable[StreamTuple]) -> "CyclicReservoirJoin":
+        """Process a whole stream of :class:`StreamTuple`."""
+        for item in stream:
+            self.insert(item.relation, item.row)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Results and statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def sample(self) -> List[dict]:
+        """The current reservoir of join results (attr -> value dicts)."""
+        return self.reservoir.sample
+
+    @property
+    def sample_size(self) -> int:
+        return len(self.reservoir)
+
+    @property
+    def width(self) -> float:
+        """Fractional width of the GHD in use."""
+        return self.ghd.width()
+
+    def statistics(self) -> Dict[str, object]:
+        return {
+            "tuples_processed": self.tuples_processed,
+            "duplicates_ignored": self.duplicates_ignored,
+            "bag_tuples_inserted": self.bag_tuples_inserted,
+            "simulated_stream_length": self.reservoir.items_total,
+            "items_examined": self.reservoir.items_examined,
+            "sample_size": self.sample_size,
+            "ghd_width": self.width,
+            "propagations": self.index.propagations,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CyclicReservoirJoin({self.query.name!r}, k={self.k}, "
+            f"bags={list(self.ghd.bags)})"
+        )

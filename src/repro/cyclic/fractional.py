@@ -1,0 +1,114 @@
+"""Fractional edge covers, the AGM bound and fractional hypertree width (Section 5).
+
+The maximum possible join size of a query ``Q`` over instances of size ``N``
+is ``Θ(N^ρ*)`` where ``ρ*`` is the *fractional edge cover number*
+(Definition 5.1, [AGM]).  These quantities drive the analysis of the cyclic
+extension: the GHD-based algorithm materialises each bag's sub-join, whose
+size is bounded by the AGM bound of the bag, and the fractional hypertree
+width ``w`` is the smallest achievable maximum bag width.
+
+The linear programs are solved with ``scipy.optimize.linprog`` (HiGHS).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from ..relational.query import JoinQuery
+
+
+def fractional_edge_cover(
+    query: JoinQuery, weights: Optional[Mapping[str, float]] = None
+) -> Tuple[Dict[str, float], float]:
+    """Solve the fractional edge cover LP.
+
+    Minimise ``Σ_e c_e · w_e`` subject to ``Σ_{e ∋ x} w_e ≥ 1`` for every
+    attribute ``x`` and ``0 ≤ w_e ≤ 1``.  With unit costs (``weights=None``)
+    the optimum is the fractional edge cover number ``ρ*(Q)``; with
+    ``c_e = ln |R_e|`` the exponentiated optimum is the AGM bound.
+
+    Returns ``(cover, objective)`` where ``cover`` maps relation names to
+    their fractional weights.
+    """
+    relations = query.relation_names
+    attributes = sorted(query.attributes)
+    costs = np.ones(len(relations))
+    if weights is not None:
+        costs = np.array([float(weights[name]) for name in relations])
+    # Constraints: for each attribute, -Σ_{e ∋ x} w_e <= -1  (A_ub x <= b_ub).
+    a_ub = np.zeros((len(attributes), len(relations)))
+    for row, attr in enumerate(attributes):
+        for col, name in enumerate(relations):
+            if attr in query.relation(name).attr_set:
+                a_ub[row, col] = -1.0
+    b_ub = -np.ones(len(attributes))
+    result = linprog(
+        costs,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        bounds=[(0.0, 1.0)] * len(relations),
+        method="highs",
+    )
+    if not result.success:
+        raise RuntimeError(f"fractional edge cover LP failed: {result.message}")
+    cover = {name: float(value) for name, value in zip(relations, result.x)}
+    return cover, float(result.fun)
+
+
+def fractional_edge_cover_number(query: JoinQuery) -> float:
+    """``ρ*(Q)``: the fractional edge cover number (Definition 5.1)."""
+    _, objective = fractional_edge_cover(query)
+    return objective
+
+
+def agm_bound(query: JoinQuery, sizes: Mapping[str, int]) -> float:
+    """The AGM bound ``Π_e |R_e|^{w_e}`` for given relation cardinalities.
+
+    Any empty relation makes the bound (and the join) zero.  Cardinalities of
+    one contribute nothing regardless of their weight, which the logarithmic
+    objective handles naturally.
+    """
+    for name in query.relation_names:
+        if sizes.get(name, 0) <= 0:
+            return 0.0
+    log_sizes = {name: math.log(max(sizes[name], 1)) for name in query.relation_names}
+    cover, objective = fractional_edge_cover(query, weights=log_sizes)
+    del cover
+    return math.exp(objective)
+
+
+def max_join_size_exponent(query: JoinQuery) -> float:
+    """The worst-case join size exponent: ``|Q(R)| = O(N^ρ*)``."""
+    return fractional_edge_cover_number(query)
+
+
+def induced_subquery(query: JoinQuery, attrs: Iterable[str], name: str = "bag") -> JoinQuery:
+    """The subquery ``Q_u`` induced by an attribute set (Definition 5.2).
+
+    Its relations are the non-empty projections ``e ∩ λ_u`` of the original
+    hyperedges; duplicate attribute sets are kept only once (they impose the
+    same constraint on the LP and on acyclicity).
+    """
+    from ..relational.schema import RelationSchema, canonical_attrs
+
+    bag = set(attrs)
+    seen = set()
+    relations = []
+    for schema in query.relations:
+        shared = canonical_attrs(schema.attr_set & bag)
+        if not shared or shared in seen:
+            continue
+        seen.add(shared)
+        relations.append(RelationSchema(f"{name}:{schema.name}", shared))
+    if not relations:
+        raise ValueError("the attribute set intersects no relation of the query")
+    return JoinQuery(name, relations)
+
+
+def bag_width(query: JoinQuery, attrs: Iterable[str]) -> float:
+    """``ρ*`` of the subquery induced by a GHD bag (its width)."""
+    return fractional_edge_cover_number(induced_subquery(query, attrs))

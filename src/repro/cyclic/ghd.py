@@ -1,0 +1,182 @@
+"""Generalized hypertree decompositions (Section 5, Definition 5.2).
+
+A GHD of a join query ``Q = (V, E)`` is a tree whose nodes ("bags") are
+labelled with attribute sets such that (1) every hyperedge is contained in
+some bag and (2) for every attribute the bags containing it form a connected
+subtree.  The *width* of a GHD is the maximum fractional edge cover number of
+its bags' induced subqueries; the minimum over all GHDs is the fractional
+hypertree width ``w(Q)``.
+
+Finding an optimal GHD is NP-hard in general.  This module provides
+
+* :class:`GHD` — validation, width computation and the induced *bag query*;
+* :func:`trivial_ghd` — the one-bag-per-relation GHD of an acyclic query;
+* :func:`ghd_from_primal_graph` — a generic construction that runs a
+  tree-decomposition heuristic (min-fill-in, via ``networkx``) on the primal
+  graph; every hyperedge is a clique of the primal graph and therefore lands
+  inside some bag, so the result is always a valid GHD.  For the paper's
+  cyclic queries (triangle, dumbbell, short cycles) it recovers the natural
+  optimal-width decompositions;
+* :func:`ghd_for` — acyclic queries get the trivial GHD, cyclic ones the
+  primal-graph construction (or a caller-supplied decomposition).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..relational.query import JoinQuery
+from ..relational.schema import RelationSchema, canonical_attrs
+from .fractional import bag_width
+
+
+class GHD:
+    """A generalized hypertree decomposition of a join query."""
+
+    def __init__(
+        self,
+        query: JoinQuery,
+        bags: Dict[str, Iterable[str]],
+        edges: Sequence[Tuple[str, str]],
+    ) -> None:
+        self.query = query
+        self.bags: Dict[str, Tuple[str, ...]] = {
+            name: canonical_attrs(attrs) for name, attrs in bags.items()
+        }
+        self.edges: List[Tuple[str, str]] = [tuple(edge) for edge in edges]
+        self._validate()
+
+    # ------------------------------------------------------------------ #
+    # Validation (the two GHD conditions)
+    # ------------------------------------------------------------------ #
+    def _validate(self) -> None:
+        if not self.bags:
+            raise ValueError("a GHD needs at least one bag")
+        names = set(self.bags)
+        for a, b in self.edges:
+            if a not in names or b not in names:
+                raise ValueError(f"edge ({a}, {b}) references an unknown bag")
+        if len(names) > 1 and len(self.edges) != len(names) - 1:
+            raise ValueError("the bag graph is not a tree (wrong number of edges)")
+        adjacency: Dict[str, set] = {name: set() for name in names}
+        for a, b in self.edges:
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+        # Connectivity of the tree itself.
+        seen: set = set()
+        stack = [next(iter(names))]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(adjacency[node] - seen)
+        if seen != names:
+            raise ValueError("the bag graph is not connected")
+        # Condition (1): every hyperedge is covered by some bag.
+        for schema in self.query.relations:
+            if not any(schema.attr_set <= set(bag) for bag in self.bags.values()):
+                raise ValueError(
+                    f"relation {schema.name!r} is not contained in any bag"
+                )
+        # Condition (2): running intersection per attribute.
+        for attr in self.query.attributes:
+            holders = {name for name, bag in self.bags.items() if attr in bag}
+            if len(holders) <= 1:
+                continue
+            reached: set = set()
+            stack = [next(iter(holders))]
+            while stack:
+                node = stack.pop()
+                if node in reached:
+                    continue
+                reached.add(node)
+                stack.extend(n for n in adjacency[node] if n in holders)
+            if reached != holders:
+                raise ValueError(
+                    f"attribute {attr!r} violates the running intersection property"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Derived structures
+    # ------------------------------------------------------------------ #
+    def width(self) -> float:
+        """The fractional width: max over bags of ``ρ*`` of the induced subquery."""
+        return max(bag_width(self.query, attrs) for attrs in self.bags.values())
+
+    def bag_query(self) -> JoinQuery:
+        """The acyclic query whose relations are the (materialised) bags.
+
+        The GHD tree is a valid join tree for it; the query joins the bag
+        relations on their shared attributes, and its result equals the
+        original query's result once each bag holds its sub-join.
+        """
+        relations = [RelationSchema(name, attrs) for name, attrs in self.bags.items()]
+        return JoinQuery(f"{self.query.name}(ghd)", relations)
+
+    def covering_bag(self, relation: str) -> str:
+        """A bag that fully contains ``relation`` (used to pick the delta bag)."""
+        attrs = self.query.relation(relation).attr_set
+        for name, bag in self.bags.items():
+            if attrs <= set(bag):
+                return name
+        raise ValueError(f"no bag covers relation {relation!r}")
+
+    def bags_touching(self, relation: str) -> List[str]:
+        """All bags whose attribute set intersects ``relation``."""
+        attrs = self.query.relation(relation).attr_set
+        return [name for name, bag in self.bags.items() if attrs & set(bag)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        bags = ", ".join(f"{n}={set(b)}" for n, b in self.bags.items())
+        return f"GHD({self.query.name!r}: {bags})"
+
+
+def trivial_ghd(query: JoinQuery) -> GHD:
+    """One bag per relation, connected by a join tree (acyclic queries only)."""
+    from ..relational.acyclicity import join_tree_edges
+
+    bags = {f"bag_{schema.name}": schema.attrs for schema in query.relations}
+    edges = [
+        (f"bag_{a}", f"bag_{b}") for a, b in join_tree_edges(query)
+    ]
+    return GHD(query, bags, edges)
+
+
+def ghd_from_primal_graph(query: JoinQuery) -> GHD:
+    """Build a GHD from a tree decomposition of the query's primal graph.
+
+    The primal graph has one vertex per attribute and an edge between every
+    pair of attributes co-occurring in a relation.  Any tree decomposition of
+    it is a GHD of the query (every hyperedge is a clique, hence contained in
+    a bag).  The min-fill-in heuristic of ``networkx`` recovers the natural
+    decompositions for the paper's cyclic queries (triangle: one bag;
+    dumbbell: two triangle bags plus the bridge).
+    """
+    graph = nx.Graph()
+    graph.add_nodes_from(query.attributes)
+    for schema in query.relations:
+        attrs = list(schema.attrs)
+        for i, a in enumerate(attrs):
+            for b in attrs[i + 1:]:
+                graph.add_edge(a, b)
+    _, decomposition = nx.algorithms.approximation.treewidth_min_fill_in(graph)
+    bag_nodes = list(decomposition.nodes)
+    if not bag_nodes:
+        # Degenerate single-attribute query.
+        return GHD(query, {"bag_0": query.attributes}, [])
+    names = {bag: f"bag_{index}" for index, bag in enumerate(bag_nodes)}
+    bags = {names[bag]: tuple(bag) for bag in bag_nodes}
+    edges = [(names[a], names[b]) for a, b in decomposition.edges]
+    return GHD(query, bags, edges)
+
+
+def ghd_for(query: JoinQuery, manual: Optional[GHD] = None) -> GHD:
+    """The GHD used by the cyclic sampler: manual > trivial (acyclic) > heuristic."""
+    if manual is not None:
+        return manual
+    if query.is_acyclic():
+        return trivial_ghd(query)
+    return ghd_from_primal_graph(query)

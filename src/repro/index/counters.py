@@ -1,0 +1,72 @@
+"""Power-of-two approximate counters (Sections 4.2 and 4.3).
+
+The dynamic index never stores exact degree counts in its buckets; it rounds
+every count up to the nearest power of two (``c̃nt = 2^⌈log2 cnt⌉``).  Because
+counts only grow in an insert-only stream, each approximate counter changes at
+most ``O(log N)`` times, which is what makes the amortised ``O(log N)`` update
+bound possible.
+"""
+
+from __future__ import annotations
+
+
+def next_pow2(value: int) -> int:
+    """``2^⌈log2 value⌉`` for positive ``value``; 0 maps to 0.
+
+    >>> [next_pow2(v) for v in (0, 1, 2, 3, 4, 5, 8, 9)]
+    [0, 1, 2, 4, 4, 8, 8, 16]
+    """
+    if value < 0:
+        raise ValueError("counts cannot be negative")
+    if value == 0:
+        return 0
+    return 1 << (value - 1).bit_length()
+
+
+def pow2_exponent(value: int) -> int:
+    """The exponent ``i`` such that ``value == 2**i`` (``value`` must be a power of two)."""
+    if value <= 0 or value & (value - 1):
+        raise ValueError(f"{value} is not a positive power of two")
+    return value.bit_length() - 1
+
+
+def is_pow2(value: int) -> bool:
+    """Whether ``value`` is a positive power of two."""
+    return value > 0 and not value & (value - 1)
+
+
+class ApproximateCounter:
+    """An exact counter together with its power-of-two upper approximation.
+
+    ``bump(delta)`` returns ``(old_approx, new_approx)`` so callers can detect
+    the (rare) event that the approximation changed and trigger propagation.
+    """
+
+    __slots__ = ("count", "approx")
+
+    def __init__(self, count: int = 0) -> None:
+        if count < 0:
+            raise ValueError("counts cannot be negative")
+        self.count = count
+        self.approx = next_pow2(count)
+
+    def bump(self, delta: int) -> tuple:
+        """Add ``delta`` to the exact count; return ``(old_approx, new_approx)``."""
+        new_count = self.count + delta
+        if new_count < 0:
+            raise ValueError("counter would become negative")
+        old_approx = self.approx
+        self.count = new_count
+        self.approx = next_pow2(new_count)
+        return old_approx, self.approx
+
+    @property
+    def changed_times_bound(self) -> int:
+        """An upper bound on how often the approximation can still double.
+
+        Purely informational (used in tests illustrating the O(log N) claim).
+        """
+        return max(self.count, 1).bit_length()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ApproximateCounter(count={self.count}, approx={self.approx})"

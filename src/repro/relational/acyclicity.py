@@ -1,0 +1,142 @@
+"""Alpha-acyclicity testing and join-tree construction via GYO reduction.
+
+Definition 4.1 of the paper: a natural join ``Q = (V, E)`` is alpha-acyclic
+iff there is a *join tree* ``T`` whose nodes are the relations and where, for
+every attribute ``X``, the nodes containing ``X`` form a connected subtree.
+
+The classical GYO (Graham / Yu-Ozsoyoglu) reduction decides acyclicity and,
+as a by-product, yields a join tree: repeatedly find an *ear* — a relation
+``e`` such that every attribute of ``e`` is either unique to ``e`` or
+contained in some other relation ``w`` (the *witness*) — remove it and attach
+it to its witness.  The query is acyclic iff the reduction removes all but
+one relation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from .query import JoinQuery
+
+
+def _attribute_multiplicity(active: Dict[str, FrozenSet[str]]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for attrs in active.values():
+        for attr in attrs:
+            counts[attr] = counts.get(attr, 0) + 1
+    return counts
+
+
+def _find_ear(active: Dict[str, FrozenSet[str]]) -> Optional[Tuple[str, Optional[str]]]:
+    """Find an ear in the remaining hypergraph.
+
+    Returns ``(ear, witness)``; ``witness`` is ``None`` when the ear's
+    non-unique attributes are empty (an isolated relation).
+    """
+    counts = _attribute_multiplicity(active)
+    for ear, attrs in active.items():
+        shared = frozenset(a for a in attrs if counts[a] > 1)
+        if not shared:
+            # Every attribute is exclusive to this relation: it is an ear with
+            # any other remaining relation as witness (pick deterministically).
+            witness = next((other for other in active if other != ear), None)
+            return ear, witness
+        for witness, witness_attrs in active.items():
+            if witness == ear:
+                continue
+            if shared <= witness_attrs:
+                return ear, witness
+    return None
+
+
+def gyo_reduction(query: JoinQuery) -> Tuple[bool, List[Tuple[str, Optional[str]]]]:
+    """Run the GYO reduction.
+
+    Returns ``(acyclic, elimination)`` where ``elimination`` is the sequence
+    of ``(ear, witness)`` pairs in removal order.  When the query is acyclic
+    the last remaining relation appears as the final pair with witness
+    ``None``.
+    """
+    active: Dict[str, FrozenSet[str]] = {
+        rel.name: rel.attr_set for rel in query.relations
+    }
+    elimination: List[Tuple[str, Optional[str]]] = []
+    while len(active) > 1:
+        found = _find_ear(active)
+        if found is None:
+            return False, elimination
+        ear, witness = found
+        elimination.append((ear, witness))
+        del active[ear]
+    if active:
+        last = next(iter(active))
+        elimination.append((last, None))
+    return True, elimination
+
+
+def is_acyclic(query: JoinQuery) -> bool:
+    """Whether ``query`` is alpha-acyclic."""
+    acyclic, _ = gyo_reduction(query)
+    return acyclic
+
+
+def join_tree_edges(query: JoinQuery) -> List[Tuple[str, str]]:
+    """Edges of a join tree for an acyclic query.
+
+    Raises ``ValueError`` when the query is cyclic.  For a single-relation
+    query the edge list is empty.
+    """
+    acyclic, elimination = gyo_reduction(query)
+    if not acyclic:
+        raise ValueError(f"query {query.name!r} is cyclic; no join tree exists")
+    edges: List[Tuple[str, str]] = []
+    for ear, witness in elimination:
+        if witness is not None:
+            edges.append((ear, witness))
+    return edges
+
+
+def verify_join_tree(query: JoinQuery, edges: List[Tuple[str, str]]) -> bool:
+    """Check the running-intersection property of a candidate join tree.
+
+    For every attribute, the set of tree nodes containing it must induce a
+    connected subtree.  Used by the test suite as an independent check of the
+    GYO construction.
+    """
+    nodes = set(query.relation_names)
+    adjacency: Dict[str, set] = {n: set() for n in nodes}
+    for a, b in edges:
+        if a not in nodes or b not in nodes:
+            return False
+        adjacency[a].add(b)
+        adjacency[b].add(a)
+    if len(nodes) > 1 and len(edges) != len(nodes) - 1:
+        return False
+    # Connectivity of the whole tree.
+    if nodes:
+        seen = set()
+        stack = [next(iter(nodes))]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(adjacency[node] - seen)
+        if seen != nodes:
+            return False
+    # Running intersection property, attribute by attribute.
+    for attr in query.attributes:
+        holders = {r.name for r in query.relations_with_attr(attr)}
+        if len(holders) <= 1:
+            continue
+        seen = set()
+        stack = [next(iter(holders))]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(n for n in adjacency[node] if n in holders and n not in seen)
+        if seen != holders:
+            return False
+    return True

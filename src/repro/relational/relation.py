@@ -1,0 +1,203 @@
+"""Relation instances with maintained hash indexes and projection views.
+
+The dynamic sampling index of the paper repeatedly performs semi-joins of the
+form ``R_e ⋉ t`` where ``t`` is a value tuple over a subset of ``R_e``'s
+attributes (Section 4.3).  :class:`Relation` therefore supports *maintained*
+hash indexes on arbitrary attribute subsets: once registered, an index is
+kept up to date by every insert in O(1) time, and exposes the matching rows
+as an append-only list with positional access (needed by ``Retrieve``,
+Algorithm 9, Case 1).
+
+The grouping optimisation (Section 4.4) additionally needs materialised
+projections with multiplicities (the ``feq`` counters); these are provided by
+:class:`ProjectionView`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .schema import RelationSchema, canonical_attrs
+
+Row = Tuple
+
+
+class RelationIndex:
+    """A maintained hash index of a relation on an attribute subset.
+
+    Maps the canonical projection of a row onto ``attrs`` to the list of rows
+    having that projection, in insertion order.  Lists are append-only (the
+    library follows the paper's insert-only stream model), so positions of
+    rows within a group are stable, which ``Retrieve`` relies on.
+    """
+
+    def __init__(self, relation: "Relation", attrs: Iterable[str]) -> None:
+        self.attrs = canonical_attrs(attrs)
+        self._positions = relation.schema.positions_of(self.attrs)
+        self._groups: Dict[Tuple, List[Row]] = {}
+        for row in relation.rows:
+            self.add(row)
+
+    def key_of(self, row: Row) -> Tuple:
+        """Projection of ``row`` onto the index attributes (canonical order)."""
+        return tuple(row[i] for i in self._positions)
+
+    def add(self, row: Row) -> None:
+        """Register a newly inserted row (called by :class:`Relation`)."""
+        self._groups.setdefault(self.key_of(row), []).append(row)
+
+    def lookup(self, key: Tuple) -> List[Row]:
+        """Rows whose projection equals ``key`` (empty list when none)."""
+        return self._groups.get(key, [])
+
+    def group_count(self, key: Tuple) -> int:
+        """Number of rows matching ``key``."""
+        return len(self._groups.get(key, ()))
+
+    def keys(self) -> Iterator[Tuple]:
+        """Iterate over the distinct keys present in the index."""
+        return iter(self._groups)
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+
+class ProjectionView:
+    """A maintained projection ``π_attrs R`` with multiplicity counters.
+
+    Used by the grouping optimisation (Section 4.4): the grouped node ``ē``
+    stores one entry per distinct projection, together with
+    ``feq = |R_e ⋉ t|`` for each projection ``t``.
+    """
+
+    def __init__(self, relation: "Relation", attrs: Iterable[str]) -> None:
+        self.attrs = canonical_attrs(attrs)
+        self._positions = relation.schema.positions_of(self.attrs)
+        self._counts: Dict[Tuple, int] = {}
+        self._rows: List[Tuple] = []
+        for row in relation.rows:
+            self.add(row)
+
+    def key_of(self, row: Row) -> Tuple:
+        """Projection of a base row onto the view attributes."""
+        return tuple(row[i] for i in self._positions)
+
+    def add(self, row: Row) -> Tuple[Tuple, bool]:
+        """Record a base-row insert.  Returns ``(projection, is_new)``."""
+        key = self.key_of(row)
+        count = self._counts.get(key, 0)
+        self._counts[key] = count + 1
+        if count == 0:
+            self._rows.append(key)
+            return key, True
+        return key, False
+
+    def count(self, key: Tuple) -> int:
+        """Multiplicity ``feq`` of a projection (0 when absent)."""
+        return self._counts.get(key, 0)
+
+    @property
+    def rows(self) -> List[Tuple]:
+        """Distinct projections in first-appearance order."""
+        return self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, key: Tuple) -> bool:
+        return key in self._counts
+
+
+class Relation:
+    """A set-semantics relation instance with maintained indexes.
+
+    Rows are plain tuples ordered by ``schema.attrs``.  Duplicate inserts are
+    ignored (the paper assumes duplicates have been removed from the stream;
+    we enforce it here so callers do not have to).
+    """
+
+    def __init__(self, schema: RelationSchema, rows: Optional[Iterable[Sequence]] = None) -> None:
+        self.schema = schema
+        self.rows: List[Row] = []
+        self._row_set: set = set()
+        self._indexes: Dict[Tuple[str, ...], RelationIndex] = {}
+        self._views: Dict[Tuple[str, ...], ProjectionView] = {}
+        self._on_insert: List[Callable[[Row], None]] = []
+        if rows is not None:
+            for row in rows:
+                self.insert(row)
+
+    @property
+    def name(self) -> str:
+        """The relation's name."""
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __contains__(self, row: Sequence) -> bool:
+        return tuple(row) in self._row_set
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def insert(self, row: Sequence) -> bool:
+        """Insert a row.  Returns ``True`` if the row is new, ``False`` otherwise.
+
+        All registered indexes, projection views and insert callbacks are
+        updated when the row is new.
+        """
+        row = tuple(row)
+        if len(row) != self.schema.arity:
+            raise ValueError(
+                f"row arity {len(row)} does not match relation "
+                f"{self.schema.name!r} arity {self.schema.arity}"
+            )
+        if row in self._row_set:
+            return False
+        self._row_set.add(row)
+        self.rows.append(row)
+        for index in self._indexes.values():
+            index.add(row)
+        for view in self._views.values():
+            view.add(row)
+        for callback in self._on_insert:
+            callback(row)
+        return True
+
+    def index_on(self, attrs: Iterable[str]) -> RelationIndex:
+        """Return (creating and registering if needed) an index on ``attrs``."""
+        key = canonical_attrs(attrs)
+        index = self._indexes.get(key)
+        if index is None:
+            index = RelationIndex(self, key)
+            self._indexes[key] = index
+        return index
+
+    def view_on(self, attrs: Iterable[str]) -> ProjectionView:
+        """Return (creating if needed) a maintained projection view on ``attrs``."""
+        key = canonical_attrs(attrs)
+        view = self._views.get(key)
+        if view is None:
+            view = ProjectionView(self, key)
+            self._views[key] = view
+        return view
+
+    def add_insert_callback(self, callback: Callable[[Row], None]) -> None:
+        """Register a callback invoked for every *new* row inserted."""
+        self._on_insert.append(callback)
+
+    def semijoin(self, attrs: Iterable[str], key: Tuple) -> List[Row]:
+        """``R ⋉ key`` where ``key`` is a canonical value tuple over ``attrs``."""
+        return self.index_on(attrs).lookup(key)
+
+    def project(self, row: Sequence, attrs: Iterable[str]) -> Tuple:
+        """Project a row of this relation onto ``attrs`` (canonical order)."""
+        return self.schema.project(row, attrs)
+
+    def as_mappings(self) -> List[dict]:
+        """All rows as ``{attribute: value}`` dicts (mainly for tests/examples)."""
+        return [self.schema.row_to_mapping(row) for row in self.rows]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Relation({self.schema.name}, {len(self.rows)} rows)"

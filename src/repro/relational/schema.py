@@ -1,0 +1,114 @@
+"""Relation schemas for natural-join queries.
+
+A relation schema is a named, ordered list of attribute names.  Natural-join
+semantics are used throughout the library: two relations join on every
+attribute name they share.  Self-joins (the same underlying data playing
+several roles in a query, as in the paper's graph queries) are expressed by
+giving each role its own :class:`RelationSchema` with renamed attributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence, Tuple
+
+
+def canonical_attrs(attrs: Iterable[str]) -> Tuple[str, ...]:
+    """Return attributes as a sorted tuple (the canonical projection order).
+
+    All projections in the library order their values by this canonical
+    attribute order so that two projections onto the same attribute set are
+    directly comparable.
+    """
+    return tuple(sorted(set(attrs)))
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """An ordered relation schema.
+
+    Parameters
+    ----------
+    name:
+        Unique name of the (logical) relation within a query.
+    attrs:
+        Ordered attribute names.  Order matters for how raw value tuples are
+        interpreted; attribute names must be unique within the relation.
+    """
+
+    name: str
+    attrs: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        attrs = tuple(self.attrs)
+        if len(set(attrs)) != len(attrs):
+            raise ValueError(f"duplicate attributes in relation {self.name!r}: {attrs}")
+        if not attrs:
+            raise ValueError(f"relation {self.name!r} must have at least one attribute")
+        object.__setattr__(self, "attrs", attrs)
+
+    @property
+    def attr_set(self) -> frozenset:
+        """The attribute names as a frozen set."""
+        return frozenset(self.attrs)
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes."""
+        return len(self.attrs)
+
+    def positions_of(self, attrs: Iterable[str]) -> Tuple[int, ...]:
+        """Positions (in this schema's order) of ``attrs`` in canonical order.
+
+        Raises ``KeyError`` if any attribute is not part of the schema.
+        """
+        index = {a: i for i, a in enumerate(self.attrs)}
+        return tuple(index[a] for a in canonical_attrs(attrs))
+
+    def project(self, row: Sequence, attrs: Iterable[str]) -> Tuple:
+        """Project ``row`` (ordered by this schema) onto ``attrs``.
+
+        The result is a value tuple ordered by the canonical attribute order,
+        so projections from different relations onto the same attribute set
+        are directly comparable.
+        """
+        return tuple(row[i] for i in self.positions_of(attrs))
+
+    def row_from_mapping(self, values: Mapping[str, object]) -> Tuple:
+        """Build a row tuple from a ``{attribute: value}`` mapping."""
+        missing = [a for a in self.attrs if a not in values]
+        if missing:
+            raise KeyError(f"missing attributes {missing} for relation {self.name!r}")
+        return tuple(values[a] for a in self.attrs)
+
+    def row_to_mapping(self, row: Sequence) -> dict:
+        """Turn a row tuple into a ``{attribute: value}`` dict."""
+        if len(row) != len(self.attrs):
+            raise ValueError(
+                f"row arity {len(row)} does not match relation {self.name!r} "
+                f"arity {len(self.attrs)}"
+            )
+        return dict(zip(self.attrs, row))
+
+    def rename(self, name: str, mapping: Mapping[str, str]) -> "RelationSchema":
+        """Return a renamed copy of this schema.
+
+        ``mapping`` maps old attribute names to new ones; attributes not in
+        the mapping keep their names.
+        """
+        new_attrs = tuple(mapping.get(a, a) for a in self.attrs)
+        return RelationSchema(name, new_attrs)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}({', '.join(self.attrs)})"
+
+
+@dataclass(frozen=True)
+class KeyConstraint:
+    """A (primary) key constraint: ``attrs`` is a key of relation ``relation``."""
+
+    relation: str
+    attrs: Tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "attrs", canonical_attrs(self.attrs))

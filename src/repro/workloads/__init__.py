@@ -1,0 +1,44 @@
+"""Workload generators: graph, TPC-DS-like, LDBC-SNB-like and string streams."""
+
+from . import graph, ldbc, strings, tpcds
+from .graph import (
+    dumbbell_query,
+    edge_stream,
+    epinions_like,
+    graph_workload,
+    line_query,
+    powerlaw_edges,
+    star_query,
+    triangle_query,
+    uniform_edges,
+)
+from .strings import (
+    EditDistancePredicate,
+    levenshtein,
+    levenshtein_within,
+    perturb,
+    random_string,
+    string_stream,
+)
+
+__all__ = [
+    "graph",
+    "ldbc",
+    "strings",
+    "tpcds",
+    "dumbbell_query",
+    "edge_stream",
+    "epinions_like",
+    "graph_workload",
+    "line_query",
+    "powerlaw_edges",
+    "star_query",
+    "triangle_query",
+    "uniform_edges",
+    "EditDistancePredicate",
+    "levenshtein",
+    "levenshtein_within",
+    "perturb",
+    "random_string",
+    "string_stream",
+]

@@ -1,0 +1,143 @@
+"""A synthetic LDBC-SNB-like workload and the BI Q10 join of the paper.
+
+The paper evaluates the join skeleton of LDBC Social Network Benchmark
+Business Intelligence query 10 at scale factor 1.  The official data
+generator is not available offline, so :func:`generate` builds a synthetic
+social network with the same schema and the fan-outs that make Q10
+interesting (messages carrying several tags, skewed tag popularity, a
+knows-graph with heavy-tailed degrees).
+
+As with the TPC-DS workload, attribute names are chosen so Q10 is a pure
+natural join, static tables are pre-loaded and dynamic tables are streamed in
+random order.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..relational.query import JoinQuery
+from ..relational.stream import StreamTuple, concatenate, stream_from_rows
+
+
+@dataclass
+class LDBCData:
+    """Raw synthetic tables (column layouts documented per attribute)."""
+
+    scale_factor: float
+    #: (country_id,)
+    country: List[Tuple] = field(default_factory=list)
+    #: (city_id, country_id)
+    city: List[Tuple] = field(default_factory=list)
+    #: (tagclass_id,)
+    tagclass: List[Tuple] = field(default_factory=list)
+    #: (tag_id, tagclass_id)
+    tag: List[Tuple] = field(default_factory=list)
+    #: (person_id, city_id)
+    person: List[Tuple] = field(default_factory=list)
+    #: (person1_id, person2_id)
+    knows: List[Tuple] = field(default_factory=list)
+    #: (message_id, creator_person_id)
+    message: List[Tuple] = field(default_factory=list)
+    #: (message_id, tag_id)
+    has_tag: List[Tuple] = field(default_factory=list)
+
+
+def generate(scale_factor: float, rng: random.Random) -> LDBCData:
+    """Generate a synthetic LDBC-like social network."""
+    if scale_factor <= 0:
+        raise ValueError("scale factor must be positive")
+    data = LDBCData(scale_factor=scale_factor)
+    n_countries = 15
+    n_cities = 60
+    n_tagclasses = 10
+    n_tags = 80
+    n_persons = max(30, int(150 * scale_factor))
+    n_messages = max(60, int(600 * scale_factor))
+    avg_tags_per_message = 2
+    avg_knows_per_person = 4
+
+    data.country = [(country,) for country in range(1, n_countries + 1)]
+    data.city = [
+        (city, rng.randrange(1, n_countries + 1)) for city in range(1, n_cities + 1)
+    ]
+    data.tagclass = [(tagclass,) for tagclass in range(1, n_tagclasses + 1)]
+    data.tag = [
+        (tag, rng.randrange(1, n_tagclasses + 1)) for tag in range(1, n_tags + 1)
+    ]
+    data.person = [
+        (person, rng.randrange(1, n_cities + 1)) for person in range(1, n_persons + 1)
+    ]
+    knows = set()
+    for person in range(1, n_persons + 1):
+        for _ in range(rng.randrange(1, 2 * avg_knows_per_person)):
+            other = rng.randrange(1, n_persons + 1)
+            if other != person:
+                knows.add((person, other))
+    data.knows = list(knows)
+    data.message = [
+        (message, rng.randrange(1, n_persons + 1)) for message in range(1, n_messages + 1)
+    ]
+    has_tag = set()
+    for message in range(1, n_messages + 1):
+        for _ in range(rng.randrange(1, 2 * avg_tags_per_message + 1)):
+            # Skew tag popularity: low tag ids are much more frequent.
+            tag = 1 + min(int(rng.expovariate(1.0) * n_tags / 6), n_tags - 1)
+            has_tag.add((message, tag))
+    data.has_tag = list(has_tag)
+    return data
+
+
+def q10_query() -> JoinQuery:
+    """The join skeleton of LDBC BI Q10 (11 relations, acyclic)."""
+    return JoinQuery.from_spec(
+        "Q10",
+        {
+            "Message": ["msg_id", "person1_id"],
+            "HasTag1": ["msg_id", "tag1_id"],
+            "Tag1": ["tag1_id"],
+            "HasTag2": ["msg_id", "tag2_id"],
+            "Tag2": ["tag2_id", "tagclass_id"],
+            "TagClass": ["tagclass_id"],
+            "Person1": ["person1_id", "city_id"],
+            "City": ["city_id", "country_id"],
+            "Country": ["country_id"],
+            "Knows": ["person1_id", "person2_id"],
+            "Person2": ["person2_id"],
+        },
+        keys={
+            "Message": ["msg_id"],
+            "Tag1": ["tag1_id"],
+            "Tag2": ["tag2_id"],
+            "TagClass": ["tagclass_id"],
+            "Person1": ["person1_id"],
+            "City": ["city_id"],
+            "Country": ["country_id"],
+            "Person2": ["person2_id"],
+        },
+    )
+
+
+def q10_workload(data: LDBCData, rng: random.Random) -> Tuple[JoinQuery, List[StreamTuple]]:
+    """Q10 over the synthetic dataset: static tables pre-loaded, rest streamed."""
+    query = q10_query()
+    preload = [
+        stream_from_rows("Tag1", [(tag,) for tag, _ in data.tag]),
+        stream_from_rows("Tag2", list(data.tag)),
+        stream_from_rows("TagClass", list(data.tagclass)),
+        stream_from_rows("City", list(data.city)),
+        stream_from_rows("Country", list(data.country)),
+    ]
+    dynamic: List[StreamTuple] = []
+    dynamic.extend(stream_from_rows("Person1", list(data.person)))
+    dynamic.extend(stream_from_rows("Person2", [(person,) for person, _ in data.person]))
+    dynamic.extend(stream_from_rows("Knows", list(data.knows)))
+    dynamic.extend(stream_from_rows("Message", list(data.message)))
+    dynamic.extend(stream_from_rows("HasTag1", list(data.has_tag)))
+    dynamic.extend(
+        stream_from_rows("HasTag2", [(message, tag) for message, tag in data.has_tag])
+    )
+    rng.shuffle(dynamic)
+    return query, concatenate(preload + [dynamic])

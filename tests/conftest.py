@@ -1,0 +1,102 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+import pytest
+
+from repro.relational import Database, JoinQuery, StreamTuple, join_results
+from repro.stats.uniformity import result_key
+
+
+# ---------------------------------------------------------------------- #
+# Queries used across many tests
+# ---------------------------------------------------------------------- #
+@pytest.fixture
+def two_table_query() -> JoinQuery:
+    return JoinQuery.from_spec("two", {"R1": ["x", "y"], "R2": ["y", "z"]})
+
+
+@pytest.fixture
+def line3_query() -> JoinQuery:
+    return JoinQuery.from_spec(
+        "line-3", {"R1": ["x1", "x2"], "R2": ["x2", "x3"], "R3": ["x3", "x4"]}
+    )
+
+
+@pytest.fixture
+def star3_query() -> JoinQuery:
+    return JoinQuery.from_spec(
+        "star-3", {"R1": ["x0", "x1"], "R2": ["x0", "x2"], "R3": ["x0", "x3"]}
+    )
+
+
+@pytest.fixture
+def triangle_query() -> JoinQuery:
+    return JoinQuery.from_spec(
+        "triangle", {"R1": ["x1", "x2"], "R2": ["x2", "x3"], "R3": ["x1", "x3"]}
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Stream builders
+# ---------------------------------------------------------------------- #
+def make_edges(n_nodes: int, n_edges: int, seed: int) -> List[Tuple[int, int]]:
+    """Small deterministic random edge set (may contain self-loops removed)."""
+    rng = random.Random(seed)
+    edges = set()
+    attempts = 0
+    while len(edges) < n_edges and attempts < 50 * n_edges:
+        attempts += 1
+        edge = (rng.randrange(n_nodes), rng.randrange(n_nodes))
+        if edge[0] != edge[1]:
+            edges.add(edge)
+    return sorted(edges)
+
+
+def make_graph_stream(
+    query: JoinQuery, edges: Sequence[Tuple[int, int]], seed: int
+) -> List[StreamTuple]:
+    """Every relation receives every edge, independently shuffled and interleaved."""
+    rng = random.Random(seed)
+    items: List[StreamTuple] = []
+    for relation in query.relation_names:
+        rows = [tuple(edge) for edge in edges]
+        rng.shuffle(rows)
+        items.extend(StreamTuple(relation, row) for row in rows)
+    rng.shuffle(items)
+    return items
+
+
+def ground_truth(query: JoinQuery, stream: Sequence[StreamTuple]) -> List[dict]:
+    """Full join results after the whole stream has been inserted."""
+    database = Database(query)
+    for item in stream:
+        database.insert(item.relation, item.row)
+    return join_results(query, database)
+
+
+def ground_truth_keys(query: JoinQuery, stream: Sequence[StreamTuple]) -> set:
+    """Hashable canonical keys of the ground-truth join results."""
+    return {result_key(result) for result in ground_truth(query, stream)}
+
+
+def materialize_batch(batch) -> List[object]:
+    """Scan every position of a batch, returning the real items in order."""
+    items = []
+    while batch.remain() > 0:
+        item = batch.next()
+        if item is not None:
+            items.append(item)
+    return items
+
+
+__all__ = [
+    "make_edges",
+    "make_graph_stream",
+    "ground_truth",
+    "ground_truth_keys",
+    "materialize_batch",
+]

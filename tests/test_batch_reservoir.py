@@ -1,0 +1,101 @@
+"""Tests for batched reservoir sampling with a predicate (Algorithms 4/5)."""
+
+import math
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core.batch_reservoir import BatchedPredicateReservoir
+from repro.core.predicate_reservoir import PredicateReservoir
+from repro.core.skippable import ListBatch, ListStream
+
+
+def positive(item) -> bool:
+    return item is not None and item >= 0
+
+
+class TestBasics:
+    def test_rejects_nonpositive_k(self):
+        with pytest.raises(ValueError):
+            BatchedPredicateReservoir(0)
+
+    def test_single_batch_behaves_like_algorithm_one(self):
+        items = [value if value % 3 else None for value in range(200)]
+        sampler = BatchedPredicateReservoir(10, rng=random.Random(0))
+        sampler.process_batch(ListBatch(items))
+        assert len(sampler) == 10
+        assert all(item is not None for item in sampler.sample)
+
+    def test_empty_batches_are_noops(self):
+        sampler = BatchedPredicateReservoir(5, rng=random.Random(0))
+        for _ in range(10):
+            sampler.process_batch(ListBatch([]))
+        assert sampler.sample == []
+        assert sampler.batches_processed == 10
+        assert sampler.items_total == 0
+
+    def test_dummy_only_batches_produce_nothing(self):
+        sampler = BatchedPredicateReservoir(5, rng=random.Random(0))
+        for _ in range(20):
+            sampler.process_batch(ListBatch([None] * 7))
+        assert sampler.sample == []
+        assert sampler.items_total == 140
+
+    def test_fill_phase_spans_batches(self):
+        sampler = BatchedPredicateReservoir(6, rng=random.Random(0))
+        sampler.process_batch(ListBatch([0, None, 1]))
+        assert len(sampler) == 2
+        sampler.process_batch(ListBatch([2, 3]))
+        assert len(sampler) == 4
+        sampler.process_batch(ListBatch([None, 4, 5, 6, 7]))
+        assert len(sampler) == 6
+        assert all(item in range(8) for item in sampler.sample)
+
+    def test_skip_counter_carries_across_batches(self):
+        # With many tiny batches the pending skip must repeatedly carry over;
+        # the run must terminate and keep exactly k real items.
+        sampler = BatchedPredicateReservoir(3, rng=random.Random(5))
+        for value in range(3000):
+            sampler.process_batch(ListBatch([value]))
+        assert len(sampler) == 3
+        assert sampler.items_total == 3000
+        # Skipping must have avoided examining most positions.
+        assert sampler.items_examined < 1500
+
+
+class TestEquivalenceWithUnbatched:
+    def test_same_distribution_as_algorithm_one(self):
+        """Batched and unbatched samplers must have the same inclusion rates."""
+        items = [value if value % 2 == 0 else None for value in range(60)]
+        batches = [items[i:i + 7] for i in range(0, len(items), 7)]
+        trials, k = 4000, 4
+        batched_counts = Counter()
+        plain_counts = Counter()
+        for seed in range(trials):
+            batched = BatchedPredicateReservoir(k, rng=random.Random(seed))
+            for chunk in batches:
+                batched.process_batch(ListBatch(chunk))
+            batched_counts.update(item for item in batched.sample)
+            plain = PredicateReservoir(k, rng=random.Random(seed + 7_000_001))
+            plain.run(ListStream(items))
+            plain_counts.update(item for item in plain.sample)
+        real_items = [value for value in items if value is not None]
+        expected = trials * k / len(real_items)
+        for item in real_items:
+            assert abs(batched_counts[item] - expected) < 5 * math.sqrt(expected) + 5
+            assert abs(plain_counts[item] - expected) < 5 * math.sqrt(expected) + 5
+
+
+class TestStatistics:
+    def test_items_total_counts_dummies(self):
+        sampler = BatchedPredicateReservoir(2, rng=random.Random(0))
+        sampler.process_batch(ListBatch([1, None, 2, None]))
+        assert sampler.items_total == 4
+        assert sampler.real_stops >= 2
+
+    def test_is_full_flag(self):
+        sampler = BatchedPredicateReservoir(2, rng=random.Random(0))
+        assert not sampler.is_full
+        sampler.process_batch(ListBatch([1, 2, 3]))
+        assert sampler.is_full

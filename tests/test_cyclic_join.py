@@ -1,0 +1,110 @@
+"""Tests for reservoir sampling over cyclic joins (Section 5)."""
+
+import random
+
+import pytest
+
+from repro.cyclic.cyclic_join import CyclicReservoirJoin
+from repro.cyclic.ghd import GHD
+from repro.relational import JoinQuery
+from repro.stats.uniformity import result_key, uniformity_p_value
+from repro.workloads.graph import dumbbell_query, line_query, triangle_query
+from tests.conftest import ground_truth, make_edges, make_graph_stream
+
+
+def replay(query, stream, k, seed, **kwargs):
+    sampler = CyclicReservoirJoin(query, k, rng=random.Random(seed), **kwargs)
+    for item in stream:
+        sampler.insert(item.relation, item.row)
+    return sampler
+
+
+class TestTriangle:
+    def test_small_triangle_join_collected_entirely(self):
+        query = triangle_query()
+        edges = make_edges(6, 18, seed=201)
+        stream = make_graph_stream(query, edges, seed=202)
+        truth = {result_key(r) for r in ground_truth(query, stream)}
+        sampler = replay(query, stream, k=100_000, seed=203)
+        assert {result_key(r) for r in sampler.sample} == truth
+
+    def test_sample_capped_and_real(self):
+        query = triangle_query()
+        edges = make_edges(7, 25, seed=204)
+        stream = make_graph_stream(query, edges, seed=205)
+        truth = {result_key(r) for r in ground_truth(query, stream)}
+        sampler = replay(query, stream, k=5, seed=206)
+        assert sampler.sample_size == min(5, len(truth))
+        assert all(result_key(r) in truth for r in sampler.sample)
+
+    def test_uniformity(self):
+        query = triangle_query()
+        edges = make_edges(6, 20, seed=207)
+        stream = make_graph_stream(query, edges, seed=208)
+        universe = ground_truth(query, stream)
+        assert len(universe) > 3
+
+        def run(seed):
+            return replay(query, stream, k=3, seed=seed).sample
+
+        assert uniformity_p_value(run, universe, trials=300, sample_size=3) > 1e-3
+
+    def test_width_reported(self):
+        query = triangle_query()
+        sampler = CyclicReservoirJoin(query, 5, rng=random.Random(0))
+        assert sampler.width == pytest.approx(1.5)
+
+
+class TestDumbbell:
+    def test_dumbbell_matches_ground_truth(self):
+        query = dumbbell_query()
+        # A small graph with a guaranteed dumbbell: two triangles + bridge.
+        edges = [
+            (1, 2), (2, 3), (1, 3),          # triangle A
+            (4, 5), (5, 6), (4, 6),          # triangle B
+            (3, 4),                          # bridge
+            (2, 5), (1, 6),                  # extra noise edges
+        ]
+        stream = make_graph_stream(query, edges, seed=209)
+        truth = {result_key(r) for r in ground_truth(query, stream)}
+        assert truth  # the dumbbell must exist
+        ghd = GHD(
+            query,
+            {
+                "left": ["x1", "x2", "x3"],
+                "bridge": ["x3", "x4"],
+                "right": ["x4", "x5", "x6"],
+            },
+            [("left", "bridge"), ("bridge", "right")],
+        )
+        sampler = replay(query, stream, k=100_000, seed=210, ghd=ghd)
+        assert {result_key(r) for r in sampler.sample} == truth
+
+
+class TestAcyclicViaGhd:
+    def test_acyclic_query_agrees_with_reservoir_join(self, line3_query):
+        """On an acyclic query the GHD machinery degenerates gracefully."""
+        edges = make_edges(5, 12, seed=211)
+        stream = make_graph_stream(line3_query, edges, seed=212)
+        truth = {result_key(r) for r in ground_truth(line3_query, stream)}
+        sampler = replay(line3_query, stream, k=100_000, seed=213)
+        assert {result_key(r) for r in sampler.sample} == truth
+
+    def test_statistics_shape(self):
+        query = triangle_query()
+        edges = make_edges(5, 10, seed=214)
+        stream = make_graph_stream(query, edges, seed=215)
+        sampler = replay(query, stream, k=5, seed=216)
+        stats = sampler.statistics()
+        assert stats["tuples_processed"] == len(stream)
+        assert stats["ghd_width"] == pytest.approx(1.5)
+        assert stats["bag_tuples_inserted"] >= 0
+
+
+class TestDuplicates:
+    def test_duplicate_base_tuples_ignored(self):
+        query = triangle_query()
+        sampler = CyclicReservoirJoin(query, 5, rng=random.Random(0))
+        sampler.insert("G1", (1, 2))
+        sampler.insert("G1", (1, 2))
+        assert sampler.duplicates_ignored == 1

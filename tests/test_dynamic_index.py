@@ -1,0 +1,131 @@
+"""Tests for the combined dynamic index (Theorem 4.2)."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.index.dynamic_index import DynamicJoinIndex
+from repro.relational import join_results, join_size
+from repro.stats.uniformity import result_key
+from repro.workloads.graph import line_query, triangle_query
+from tests.conftest import make_edges, make_graph_stream, materialize_batch
+
+
+class TestConstruction:
+    def test_rejects_cyclic_queries(self):
+        with pytest.raises(ValueError):
+            DynamicJoinIndex(triangle_query())
+
+    def test_rejects_unknown_sampling_root(self, line3_query):
+        with pytest.raises(ValueError):
+            DynamicJoinIndex(line3_query, sampling_root="missing")
+
+    def test_one_tree_per_relation(self, line3_query):
+        index = DynamicJoinIndex(line3_query)
+        assert set(index.trees) == set(line3_query.relation_names)
+
+
+class TestInsertion:
+    def test_duplicates_ignored(self, line3_query):
+        index = DynamicJoinIndex(line3_query)
+        assert index.insert("R1", (1, 2)) is True
+        assert index.insert("R1", (1, 2)) is False
+        assert index.size == 1
+        assert index.duplicates_ignored == 1
+
+    def test_size_tracks_inserts(self, line3_query):
+        index = DynamicJoinIndex(line3_query)
+        index.insert("R1", (1, 2))
+        index.insert("R2", (2, 3))
+        assert index.size == 2
+        assert index.tuples_inserted == 2
+
+
+class TestDeltaBatches:
+    def test_batch_matches_ground_truth_over_stream(self, star3_query):
+        from repro.relational import Database, delta_results
+
+        edges = make_edges(4, 10, seed=61)
+        stream = make_graph_stream(star3_query, edges, seed=62)
+        index = DynamicJoinIndex(star3_query)
+        shadow = Database(star3_query)
+        for item in stream:
+            if not index.insert(item.relation, item.row):
+                continue
+            shadow.insert(item.relation, item.row)
+            got = Counter(
+                result_key(res)
+                for res in materialize_batch(index.delta_batch(item.relation, item.row))
+            )
+            expected = Counter(
+                result_key(res)
+                for res in delta_results(star3_query, shadow, item.relation, item.row)
+            )
+            assert got == expected
+
+    def test_batch_size_zero_when_no_partner(self, two_table_query):
+        index = DynamicJoinIndex(two_table_query)
+        index.insert("R1", (1, 2))
+        assert index.delta_batch_size("R1", (1, 2)) == 0
+
+
+class TestFullQuerySampling:
+    def replay(self, query, stream):
+        index = DynamicJoinIndex(query, maintain_root=True)
+        for item in stream:
+            index.insert(item.relation, item.row)
+        return index
+
+    def test_total_weight_upper_bounds_join_size(self, line3_query):
+        from repro.relational import Database
+
+        edges = make_edges(5, 15, seed=63)
+        stream = make_graph_stream(line3_query, edges, seed=64)
+        index = self.replay(line3_query, stream)
+        shadow = Database(line3_query)
+        for item in stream:
+            shadow.insert(item.relation, item.row)
+        truth = join_size(line3_query, shadow)
+        assert index.total_weight() >= truth
+
+    def test_sample_many_returns_real_results(self, line3_query):
+        from repro.relational import Database
+
+        edges = make_edges(5, 15, seed=65)
+        stream = make_graph_stream(line3_query, edges, seed=66)
+        index = self.replay(line3_query, stream)
+        shadow = Database(line3_query)
+        for item in stream:
+            shadow.insert(item.relation, item.row)
+        universe = {result_key(res) for res in join_results(line3_query, shadow)}
+        samples = index.sample_many(100, random.Random(1))
+        assert len(samples) == 100
+        assert all(result_key(sample) in universe for sample in samples)
+
+    def test_retrieve_positions_cover_all_results(self, two_table_query):
+        index = DynamicJoinIndex(two_table_query, maintain_root=True)
+        for row in [(1, 10), (2, 10), (3, 20)]:
+            index.insert("R1", row)
+        for row in [(10, 5), (20, 6)]:
+            index.insert("R2", row)
+        found = set()
+        for position in range(index.total_weight()):
+            result = index.retrieve(position)
+            if result is not None:
+                found.add(result_key(result))
+        assert len(found) == 3  # (1,10,5), (2,10,5), (3,20,6)
+
+    def test_validate_after_longer_run(self):
+        query = line_query(4)
+        edges = make_edges(4, 12, seed=67)
+        stream = make_graph_stream(query, edges, seed=68)
+        index = self.replay(query, stream)
+        index.validate()
+
+    def test_propagations_aggregate(self, line3_query):
+        edges = make_edges(5, 15, seed=69)
+        stream = make_graph_stream(line3_query, edges, seed=70)
+        index = self.replay(line3_query, stream)
+        assert index.propagations == sum(t.propagations for t in index.trees.values())
+        assert index.propagations > 0

@@ -1,0 +1,129 @@
+"""Tests for reservoir sampling with a predicate (Algorithm 1)."""
+
+import math
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core.predicate_reservoir import PredicateReservoir, expected_stop_bound
+from repro.core.skippable import ListStream
+
+
+def even(value: int) -> bool:
+    return value % 2 == 0
+
+
+class TestBasics:
+    def test_rejects_nonpositive_k(self):
+        with pytest.raises(ValueError):
+            PredicateReservoir(0)
+
+    def test_only_real_items_sampled(self):
+        sampler = PredicateReservoir(10, predicate=even, rng=random.Random(0))
+        sampler.run(ListStream(list(range(1000))))
+        assert len(sampler) == 10
+        assert all(even(item) for item in sampler.sample)
+
+    def test_fewer_real_items_than_k(self):
+        sampler = PredicateReservoir(50, predicate=even, rng=random.Random(0))
+        sampler.run(ListStream(list(range(20))))
+        assert sorted(sampler.sample) == [0, 2, 4, 6, 8, 10, 12, 14, 16, 18]
+        assert not sampler.is_full
+
+    def test_no_real_items(self):
+        sampler = PredicateReservoir(5, predicate=lambda item: False, rng=random.Random(0))
+        sampler.run(ListStream(list(range(100))))
+        assert sampler.sample == []
+        # Nothing can be skipped when the reservoir never fills.
+        assert sampler.stops == 100
+
+    def test_all_items_real_reduces_to_classic(self):
+        sampler = PredicateReservoir(5, predicate=lambda item: True, rng=random.Random(1))
+        stream = ListStream(list(range(10_000)))
+        sampler.run(stream)
+        assert len(sampler) == 5
+        assert stream.items_examined < 1000  # skipping is active
+
+    def test_run_can_be_resumed_across_streams(self):
+        sampler = PredicateReservoir(4, predicate=even, rng=random.Random(3))
+        sampler.run(ListStream(list(range(0, 100))))
+        sampler.run(ListStream(list(range(100, 200))))
+        assert len(sampler) == 4
+        assert all(even(item) and 0 <= item < 200 for item in sampler.sample)
+
+
+class TestComplexity:
+    def test_stop_count_close_to_instance_optimal_bound(self):
+        # 1/10-dense stream: every 10th item is real.
+        items = list(range(5000))
+        predicate = lambda value: value % 10 == 0
+        real_prefix = []
+        reals = 0
+        for value in items:
+            real_prefix.append(reals)
+            if predicate(value):
+                reals += 1
+        bound = expected_stop_bound(real_prefix, k=20)
+        stops = []
+        for seed in range(20):
+            sampler = PredicateReservoir(20, predicate=predicate, rng=random.Random(seed))
+            sampler.run(ListStream(items))
+            stops.append(sampler.stops)
+        average = sum(stops) / len(stops)
+        # The measured number of stops should be within a small constant of
+        # the instance-optimal bound of Theorems 3.2/3.3 (and well below N).
+        assert average < 4 * bound
+        assert average < len(items) / 2
+
+    def test_sparser_streams_examine_more_items(self):
+        def run(density: float) -> int:
+            period = max(1, int(round(1 / density)))
+            items = list(range(4000))
+            predicate = lambda value: value % period == 0
+            sampler = PredicateReservoir(10, predicate=predicate, rng=random.Random(7))
+            stream = ListStream(items)
+            sampler.run(stream)
+            return stream.items_examined
+
+        dense = run(1.0)
+        medium = run(0.1)
+        sparse = run(0.01)
+        assert dense < medium < sparse
+
+
+class TestUniformity:
+    def test_uniform_over_real_items(self):
+        trials = 4000
+        k = 3
+        items = list(range(30))  # 15 real (even), 15 dummy
+        counts = Counter()
+        for seed in range(trials):
+            sampler = PredicateReservoir(k, predicate=even, rng=random.Random(seed))
+            sampler.run(ListStream(items))
+            counts.update(sampler.sample)
+        real_items = [value for value in items if even(value)]
+        expected = trials * k / len(real_items)
+        assert set(counts) <= set(real_items)
+        for item in real_items:
+            assert abs(counts[item] - expected) < 5 * math.sqrt(expected) + 5
+
+    def test_late_real_items_not_missed_in_sparse_stream(self):
+        # A single real item at the very end must always be sampled.
+        items = [1] * 500 + [2]
+        predicate = even
+        for seed in range(25):
+            sampler = PredicateReservoir(3, predicate=predicate, rng=random.Random(seed))
+            sampler.run(ListStream(items))
+            assert sampler.sample == [2]
+
+
+class TestExpectedStopBound:
+    def test_all_real(self):
+        # r_i = i - 1, so the bound telescopes to roughly k(1 + ln(N/k)).
+        n, k = 1000, 10
+        bound = expected_stop_bound(list(range(n)), k)
+        assert k <= bound <= k * (2 + math.log(n / k))
+
+    def test_all_dummy(self):
+        assert expected_stop_bound([0] * 50, 5) == 50

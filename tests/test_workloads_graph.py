@@ -1,0 +1,99 @@
+"""Tests for the graph workload generators and query builders."""
+
+import random
+
+import pytest
+
+from repro.relational.acyclicity import is_acyclic
+from repro.workloads.graph import (
+    dumbbell_query,
+    edge_stream,
+    epinions_like,
+    graph_workload,
+    line_query,
+    powerlaw_edges,
+    star_query,
+    triangle_query,
+    uniform_edges,
+)
+
+
+class TestGraphGenerators:
+    def test_uniform_edges_distinct_and_no_loops(self):
+        edges = uniform_edges(20, 50, random.Random(0))
+        assert len(edges) == 50
+        assert len(set(edges)) == 50
+        assert all(src != dst for src, dst in edges)
+
+    def test_uniform_edges_requires_two_nodes(self):
+        with pytest.raises(ValueError):
+            uniform_edges(1, 5, random.Random(0))
+
+    def test_powerlaw_edges_are_skewed(self):
+        rng = random.Random(1)
+        edges = powerlaw_edges(200, 600, rng, skew=1.0)
+        assert len(edges) == 600
+        degree = {}
+        for src, _ in edges:
+            degree[src] = degree.get(src, 0) + 1
+        top = max(degree.values())
+        average = len(edges) / len(degree)
+        assert top > 3 * average  # the hub is much busier than the average node
+
+    def test_epinions_like_edge_count(self):
+        edges = epinions_like(300, random.Random(2))
+        assert len(edges) == 300
+
+    def test_reproducible_with_same_seed(self):
+        assert epinions_like(100, random.Random(7)) == epinions_like(100, random.Random(7))
+
+
+class TestQueryBuilders:
+    def test_line_query_shape(self):
+        query = line_query(4)
+        assert query.relation_names == ("G1", "G2", "G3", "G4")
+        assert is_acyclic(query)
+        assert query.relation("G2").attrs == ("x2", "x3")
+
+    def test_star_query_shape(self):
+        query = star_query(5)
+        assert len(query.relations) == 5
+        assert all("x0" in r.attr_set for r in query.relations)
+        assert is_acyclic(query)
+
+    def test_triangle_and_dumbbell_cyclic(self):
+        assert not is_acyclic(triangle_query())
+        assert not is_acyclic(dumbbell_query())
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            line_query(0)
+        with pytest.raises(ValueError):
+            star_query(0)
+
+
+class TestStreams:
+    def test_edge_stream_covers_every_relation(self):
+        query = line_query(3)
+        edges = [(1, 2), (2, 3), (3, 4)]
+        stream = edge_stream(query, edges, random.Random(3))
+        assert len(stream) == 9
+        for relation in query.relation_names:
+            rows = sorted(item.row for item in stream if item.relation == relation)
+            assert rows == sorted(edges)
+
+    def test_graph_workload_models(self):
+        query = line_query(2)
+        for model in ("powerlaw", "uniform"):
+            stream = graph_workload(query, 60, random.Random(4), model=model)
+            assert len(stream) == 120
+        with pytest.raises(ValueError):
+            graph_workload(query, 60, random.Random(4), model="nope")
+
+    def test_stream_is_shuffled_independently_per_relation(self):
+        query = line_query(2)
+        edges = [(i, i + 1) for i in range(50)]
+        stream = edge_stream(query, edges, random.Random(5))
+        g1_order = [item.row for item in stream if item.relation == "G1"]
+        g2_order = [item.row for item in stream if item.relation == "G2"]
+        assert g1_order != g2_order  # overwhelmingly likely with 50 edges

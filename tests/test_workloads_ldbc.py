@@ -1,0 +1,70 @@
+"""Tests for the synthetic LDBC-SNB-like workload (BI Q10)."""
+
+import random
+
+import pytest
+
+from repro.index.foreign_key import ForeignKeyCombiner
+from repro.relational import Database, join_size
+from repro.workloads import ldbc
+
+
+@pytest.fixture(scope="module")
+def data():
+    return ldbc.generate(0.2, random.Random(21))
+
+
+class TestGenerator:
+    def test_invalid_scale_factor(self):
+        with pytest.raises(ValueError):
+            ldbc.generate(0, random.Random(0))
+
+    def test_referential_integrity(self, data):
+        cities = {row[0] for row in data.city}
+        countries = {row[0] for row in data.country}
+        persons = {row[0] for row in data.person}
+        tags = {row[0] for row in data.tag}
+        tagclasses = {row[0] for row in data.tagclass}
+        messages = {row[0] for row in data.message}
+        assert all(row[1] in countries for row in data.city)
+        assert all(row[1] in cities for row in data.person)
+        assert all(row[1] in tagclasses for row in data.tag)
+        assert all(row[1] in persons for row in data.message)
+        assert all(row[0] in persons and row[1] in persons for row in data.knows)
+        assert all(row[0] in messages and row[1] in tags for row in data.has_tag)
+
+    def test_scale_factor_grows_messages(self):
+        small = ldbc.generate(0.2, random.Random(1))
+        large = ldbc.generate(0.8, random.Random(1))
+        assert len(large.message) > 2 * len(small.message)
+
+
+class TestQ10:
+    def test_query_is_acyclic(self):
+        assert ldbc.q10_query().is_acyclic()
+
+    def test_query_has_eleven_relations(self):
+        assert len(ldbc.q10_query().relations) == 11
+
+    def test_foreign_keys_effective(self):
+        combiner = ForeignKeyCombiner(ldbc.q10_query())
+        assert combiner.is_effective
+        assert len(combiner.groups) < 11
+
+    def test_workload_static_tables_preloaded(self, data):
+        query, stream = ldbc.q10_workload(data, random.Random(22))
+        tag_positions = [i for i, item in enumerate(stream) if item.relation == "Tag1"]
+        message_positions = [i for i, item in enumerate(stream) if item.relation == "Message"]
+        assert max(tag_positions) < min(message_positions)
+
+    def test_join_is_nonempty(self, data):
+        query, stream = ldbc.q10_workload(data, random.Random(23))
+        database = Database(query)
+        for item in stream:
+            database.insert(item.relation, item.row)
+        assert join_size(query, database) > 0
+
+    def test_stream_rows_match_schemas(self, data):
+        query, stream = ldbc.q10_workload(data, random.Random(24))
+        for item in stream:
+            assert len(item.row) == query.relation(item.relation).arity

@@ -1,0 +1,90 @@
+"""Tests for the synthetic TPC-DS-like workload (QX / QY / QZ)."""
+
+import random
+
+import pytest
+
+from repro.index.foreign_key import ForeignKeyCombiner
+from repro.relational import Database, join_size
+from repro.workloads import tpcds
+
+
+@pytest.fixture(scope="module")
+def data():
+    return tpcds.generate(0.05, random.Random(11))
+
+
+class TestGenerator:
+    def test_scale_factor_proportionality(self):
+        small = tpcds.generate(0.2, random.Random(0))
+        large = tpcds.generate(1.0, random.Random(0))
+        assert len(large.store_sales) > 2 * len(small.store_sales)
+        assert len(large.customer) > 2 * len(small.customer)
+        # Dimension tables stay (nearly) constant.
+        assert len(large.date_dim) == len(small.date_dim)
+
+    def test_invalid_scale_factor(self):
+        with pytest.raises(ValueError):
+            tpcds.generate(0, random.Random(0))
+
+    def test_referential_integrity(self, data):
+        customers = {row[0] for row in data.customer}
+        demographics = {row[0] for row in data.household_demographics}
+        items = {row[0] for row in data.item}
+        dates = {row[0] for row in data.date_dim}
+        assert all(row[1] in demographics for row in data.customer)
+        assert all(row[0] in items and row[2] in customers and row[3] in dates
+                   for row in data.store_sales)
+        sales_keys = {(row[0], row[1]) for row in data.store_sales}
+        assert all((row[0], row[1]) in sales_keys for row in data.store_returns)
+
+    def test_rows_are_distinct(self, data):
+        for table in (data.store_sales, data.store_returns, data.catalog_sales,
+                      data.customer, data.item):
+            assert len(table) == len(set(table))
+
+    def test_reproducibility(self):
+        first = tpcds.generate(0.05, random.Random(3))
+        second = tpcds.generate(0.05, random.Random(3))
+        assert first.store_sales == second.store_sales
+
+
+class TestQueries:
+    def test_all_queries_acyclic(self):
+        for query in (tpcds.qx_query(), tpcds.qy_query(), tpcds.qz_query()):
+            assert query.is_acyclic(), query.name
+
+    def test_primary_keys_declared(self):
+        query = tpcds.qz_query()
+        assert query.primary_key("item1") == ("i1_id",)
+        assert query.primary_key("customer2") == ("c2_id",)
+        assert query.primary_key("store_sales") is None
+
+    def test_foreign_key_combination_applies(self):
+        for query in (tpcds.qx_query(), tpcds.qy_query(), tpcds.qz_query()):
+            assert ForeignKeyCombiner(query).is_effective, query.name
+
+
+class TestWorkloads:
+    def test_streams_have_dimensions_first(self, data):
+        rng = random.Random(12)
+        query, stream = tpcds.qy_workload(data, rng)
+        fact_positions = [i for i, item in enumerate(stream) if item.relation == "store_sales"]
+        dim_positions = [i for i, item in enumerate(stream) if item.relation == "customer1"]
+        assert max(dim_positions) < min(fact_positions)
+
+    def test_join_sizes_nonzero(self, data):
+        rng = random.Random(13)
+        for name, workload in tpcds.WORKLOADS.items():
+            query, stream = workload(data, rng)
+            database = Database(query)
+            for item in stream:
+                database.insert(item.relation, item.row)
+            assert join_size(query, database) > 0, name
+
+    def test_stream_rows_match_schemas(self, data):
+        rng = random.Random(14)
+        for name, workload in tpcds.WORKLOADS.items():
+            query, stream = workload(data, rng)
+            for item in stream[:200]:
+                assert len(item.row) == query.relation(item.relation).arity
