@@ -14,7 +14,7 @@ between, dumbbell only on RSJoin) is what EXPERIMENTS.md records.
 
 from __future__ import annotations
 
-from repro.bench.harness import run_sampler, run_with_timeout
+from repro.bench.harness import run_sampler, run_sampler_batched, run_with_timeout
 from repro.bench.reporting import format_table
 from repro.workloads import graph
 
@@ -45,6 +45,18 @@ def test_line3_rsjoin(benchmark):
     stream = graph_stream(query, GRAPH_EDGES_SMALL)
     benchmark.pedantic(
         lambda: drain(make_rsjoin(query, GRAPH_SAMPLE_SIZE), stream), rounds=1, iterations=1
+    )
+
+
+def test_line3_rsjoin_batched(benchmark):
+    query = graph.line_query(3)
+    stream = graph_stream(query, GRAPH_EDGES_SMALL)
+    benchmark.pedantic(
+        lambda: run_sampler_batched(
+            "RSJoin_batch", make_rsjoin(query, GRAPH_SAMPLE_SIZE), stream
+        ),
+        rounds=1,
+        iterations=1,
     )
 
 
@@ -146,6 +158,13 @@ def figure5_rows(timeout_seconds: float = TIMEOUT_SECONDS):
         record(name, "RSJoin", run_sampler("RSJoin", make_rsjoin(query, GRAPH_SAMPLE_SIZE), stream))
         record(
             name,
+            "RSJoin_batch",
+            run_sampler_batched(
+                "RSJoin_batch", make_rsjoin(query, GRAPH_SAMPLE_SIZE), stream
+            ),
+        )
+        record(
+            name,
             "SJoin",
             run_with_timeout("SJoin", make_sjoin(query, GRAPH_SAMPLE_SIZE), stream, timeout_seconds),
         )
@@ -161,6 +180,15 @@ def figure5_rows(timeout_seconds: float = TIMEOUT_SECONDS):
     for name in ("QX", "QY", "QZ"):
         query, stream = tpcds_workload(name)
         record(name, "RSJoin", run_sampler("RSJoin", make_rsjoin(query, RELATIONAL_SAMPLE_SIZE), stream))
+        record(
+            name,
+            "RSJoin_opt_batch",
+            run_sampler_batched(
+                "RSJoin_opt_batch",
+                make_rsjoin(query, RELATIONAL_SAMPLE_SIZE, foreign_key=True, grouping=True),
+                stream,
+            ),
+        )
         record(
             name,
             "RSJoin_opt",

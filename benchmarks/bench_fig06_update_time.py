@@ -14,10 +14,11 @@ from __future__ import annotations
 
 import random
 
-from repro.bench.harness import per_insert_times, percentile
+from repro.bench.harness import per_chunk_times, per_insert_times, percentile
 from repro.bench.reporting import format_table
 from repro.index.dynamic_index import DynamicJoinIndex
 from repro.baselines.sjoin import ExactTreeIndex
+from repro.relational.stream import as_relation_rows
 from repro.relational.database import Database
 from repro.relational.jointree import JoinTree
 from repro.workloads import graph
@@ -35,6 +36,20 @@ class _IndexOnly:
 
     def insert(self, relation, row):
         self.index.insert(relation, row)
+
+
+class _IndexOnlyBatched:
+    """Pure-maintenance path of RSJoin driven through the bulk index API."""
+
+    def __init__(self, query):
+        self.index = DynamicJoinIndex(query, maintain_root=False)
+
+    def insert_batch(self, items):
+        groups = {}
+        for relation, row in as_relation_rows(items):
+            groups.setdefault(relation, []).append(row)
+        for relation, rows in groups.items():
+            self.index.insert_rows(relation, rows)
 
 
 class _SJoinIndexOnly:
@@ -55,13 +70,23 @@ class _SJoinIndexOnly:
             index.insert_row(relation, row)
 
 
-def update_time_rows(n_edges: int = GRAPH_EDGES_SMALL):
-    """Summary statistics of the two update-time distributions."""
+def update_time_rows(n_edges: int = GRAPH_EDGES_SMALL, chunk_size: int = 256):
+    """Summary statistics of the update-time distributions (both RSJoin
+    ingestion modes plus SJoin); the batched row reports amortised
+    per-tuple times (chunk time spread over its tuples)."""
     query = graph.line_query(QUERY_LENGTH)
     stream = graph_stream(query, n_edges, seed=SEED + 6)
     rows = []
-    for name, sampler in (("RSJoin", _IndexOnly(query)), ("SJoin", _SJoinIndexOnly(query))):
-        latencies = per_insert_times(sampler, stream)
+    measured = (
+        ("RSJoin", lambda: per_insert_times(_IndexOnly(query), stream)),
+        (
+            "RSJoin_batch",
+            lambda: per_chunk_times(_IndexOnlyBatched(query), stream, chunk_size),
+        ),
+        ("SJoin", lambda: per_insert_times(_SJoinIndexOnly(query), stream)),
+    )
+    for name, run in measured:
+        latencies = run()
         rows.append(
             {
                 "algorithm": name,

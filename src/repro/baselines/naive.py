@@ -14,7 +14,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from ..relational.database import Database
 from ..relational.join import join_results
 from ..relational.query import JoinQuery
-from ..relational.stream import StreamTuple
+from ..relational.stream import StreamTuple, validated_pairs
 
 
 class NaiveRecomputeSampler:
@@ -40,6 +40,27 @@ class NaiveRecomputeSampler:
         self.tuples_processed += 1
         if not self.database.insert(relation, row):
             return
+        self._recompute()
+
+    def insert_batch(self, items) -> int:
+        """Process a chunk of stream tuples, recomputing the sample once.
+
+        The natural batched semantics for the rebuild-everything baseline:
+        insert the whole chunk, then recompute and resample once at the
+        chunk boundary (instead of once per tuple), keeping the sample a
+        uniform draw from the join of the prefix ending at the boundary.
+        ``KeyError`` is raised for unknown relations before any insert.
+        """
+        pairs = validated_pairs(items, self.query.relation_names, self.query.name)
+        self.tuples_processed += len(pairs)
+        inserted = sum(
+            1 for relation, row in pairs if self.database.insert(relation, row)
+        )
+        if inserted:
+            self._recompute()
+        return inserted
+
+    def _recompute(self) -> None:
         results = join_results(self.query, self.database)
         self.recomputations += 1
         self.last_join_size = len(results)

@@ -28,7 +28,7 @@ from ..index.foreign_key import ForeignKeyCombiner
 from ..relational.database import Database
 from ..relational.jointree import JoinTree, RootedJoinTree
 from ..relational.query import JoinQuery
-from ..relational.stream import StreamTuple
+from ..relational.stream import StreamTuple, validated_pairs
 
 
 class _ExactEntry:
@@ -242,7 +242,26 @@ class SJoin:
             return
         for tree in self.trees.values():
             tree.insert_row(relation, row)
-        self.reservoir.process_batch(self.trees[relation].delta_batch(row))
+        tree = self.trees[relation]
+        self.reservoir.process_deferred(
+            tree.delta_batch_size(row), tree.delta_batch, row
+        )
+
+    def insert_batch(self, items) -> int:
+        """Process a chunk of stream tuples (tuple-at-a-time internally).
+
+        SJoin's exact counters must be repropagated on every change, so
+        grouping a chunk buys nothing structurally; the method exists for
+        drop-in compatibility with the batched ingestion harness.  Unknown
+        relations raise ``KeyError`` before any state changes.
+        """
+        pairs = validated_pairs(
+            items, self.original_query.relation_names, self.original_query.name
+        )
+        before = self.tuples_processed - self.duplicates_ignored
+        for relation, row in pairs:
+            self.insert(relation, row)
+        return self.tuples_processed - self.duplicates_ignored - before
 
     def process(self, stream) -> "SJoin":
         """Process a whole stream of :class:`StreamTuple`."""

@@ -19,7 +19,7 @@ from ..core.reservoir import ReservoirSampler
 from ..relational.database import Database
 from ..relational.join import iter_delta_results
 from ..relational.query import JoinQuery
-from ..relational.stream import StreamTuple
+from ..relational.stream import StreamTuple, validated_pairs
 
 
 class SymmetricHashJoinSampler:
@@ -49,6 +49,20 @@ class SymmetricHashJoinSampler:
         for result in iter_delta_results(self.query, self.database, relation, row):
             self.total_join_size += 1
             self.reservoir.process(result)
+
+    def insert_batch(self, items) -> int:
+        """Process a chunk of stream tuples (tuple-at-a-time internally).
+
+        Every delta result is materialised either way, so there is no bulk
+        saving to exploit; the method exists so the baseline is drop-in
+        compatible with the batched ingestion harness.  Unknown relations
+        raise ``KeyError`` before any state changes.
+        """
+        pairs = validated_pairs(items, self.query.relation_names, self.query.name)
+        before = self.tuples_processed - self.duplicates_ignored
+        for relation, row in pairs:
+            self.insert(relation, row)
+        return self.tuples_processed - self.duplicates_ignored - before
 
     def process(self, stream: Iterable[StreamTuple]) -> "SymmetricHashJoinSampler":
         """Process a whole stream of :class:`StreamTuple`."""

@@ -75,6 +75,81 @@ class BatchedPredicateReservoir(Generic[T]):
     def __len__(self) -> int:
         return len(self._sample)
 
+    def process_deferred(self, size: int, make_batch: Callable[..., Batch[T]], *args) -> None:
+        """Fold a batch into the reservoir, constructing it only when needed.
+
+        Semantically identical to ``process_batch(make_batch(*args))`` for a
+        batch of ``size`` items, but when the reservoir is already full and
+        the pending skip count covers the entire batch, the sampler would not
+        stop at any of its positions — so only the counters are updated and
+        the batch object is never built.  This is the per-batch fast path of
+        the batched ingestion subsystem: once the simulated result stream is
+        long, almost every delta batch is skipped wholesale, and avoiding the
+        batch construction removes the dominating constant factor.
+        """
+        if size < 0:
+            raise ValueError("batch size must be non-negative")
+        if size == 0:
+            # An empty batch touches nothing but the batch counter.
+            self.batches_processed += 1
+            return
+        if (
+            len(self._sample) >= self.k
+            and not math.isinf(self._w)
+            and self._pending_skip >= size
+        ):
+            self.batches_processed += 1
+            self.items_total += size
+            self._pending_skip -= size
+            return
+        self.process_batch(make_batch(*args))
+
+    def process_deferred_many(
+        self,
+        sizes: "List[int]",
+        make_batch: Callable[..., Batch[T]],
+        args: "List",
+    ) -> None:
+        """Fold many deferred batches at once (``sizes[i]`` ↔ ``args[i]``).
+
+        Equivalent to calling :meth:`process_deferred` per batch, with the
+        skip bookkeeping kept in locals between batches; on the steady-state
+        ingestion path almost every batch is skipped wholesale, so this
+        turns a method call per stream tuple into plain integer arithmetic.
+        """
+        if any(size < 0 for size in sizes):
+            # Validate before touching any bookkeeping: a bad size mid-loop
+            # must not leave the locally accumulated skip state unflushed.
+            raise ValueError("batch size must be non-negative")
+        k = self.k
+        sample = self._sample
+        pending = self._pending_skip
+        total = self.items_total
+        skipped = 0
+        w_ready = not math.isinf(self._w)
+        for size, arg in zip(sizes, args):
+            if size == 0:
+                skipped += 1
+                continue
+            if w_ready and pending >= size and len(sample) >= k:
+                skipped += 1
+                total += size
+                pending -= size
+                continue
+            # Slow path: flush the locals, materialise and fold this batch,
+            # then re-load the (possibly changed) skip state.
+            self._pending_skip = pending
+            self.items_total = total
+            self.batches_processed += skipped
+            skipped = 0
+            self.process_batch(make_batch(arg))
+            pending = self._pending_skip
+            total = self.items_total
+            w_ready = not math.isinf(self._w)
+        self._pending_skip = pending
+        self.items_total = total
+        self.batches_processed += skipped
+
     def process_batch(self, batch: Batch[T]) -> None:
         """Algorithm 5 (``BatchUpdate``): fold one batch into the reservoir."""
         self.batches_processed += 1

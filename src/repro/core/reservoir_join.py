@@ -27,7 +27,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from ..index.dynamic_index import DynamicJoinIndex
 from ..index.foreign_key import ForeignKeyCombiner
 from ..relational.query import JoinQuery
-from ..relational.stream import StreamTuple
+from ..relational.stream import StreamTuple, as_relation_rows
 from .batch_reservoir import BatchedPredicateReservoir
 
 
@@ -106,6 +106,68 @@ class ReservoirJoin:
             return
         batch = self.index.delta_batch(relation, row)
         self.reservoir.process_batch(batch)
+
+    def insert_batch(self, items: Iterable) -> int:
+        """Process a chunk of stream tuples through the batched fast path.
+
+        ``items`` is an iterable of :class:`StreamTuple` (or plain
+        ``(relation, row)`` pairs) referring to the *original* query's
+        relation names.  Returns the number of new (non-duplicate) tuples
+        absorbed into the index.
+
+        Semantics: the chunk is grouped by relation and each relation group
+        is bulk-inserted before its delta batches are sampled.  Every join
+        result first completed by the chunk is offered to the reservoir
+        exactly once, so after the call the reservoir is a uniform sample
+        without replacement of ``Q(R_i)`` for the stream prefix ending at the
+        chunk boundary — the per-prefix guarantee holds at every batch
+        boundary rather than after every individual tuple.  For equivalent
+        distributions with different randomness, this is interchangeable with
+        repeated :meth:`insert`.
+
+        Tuples naming a relation outside the query raise ``KeyError``, and
+        rows of the wrong arity raise ``ValueError`` — in both cases before
+        any state is modified, so a failed call leaves the sampler untouched.
+        """
+        pairs = as_relation_rows(items)
+        arities = {
+            schema.name: schema.arity for schema in self.original_query.relations
+        }
+        for relation, row in pairs:
+            arity = arities.get(relation)
+            if arity is None:
+                raise KeyError(
+                    f"relation {relation!r} is not part of query "
+                    f"{self.original_query.name!r}"
+                )
+            if len(row) != arity:
+                raise ValueError(
+                    f"row arity {len(row)} does not match relation "
+                    f"{relation!r} arity {arity}"
+                )
+        self.tuples_processed += len(pairs)
+        if self._combiner is not None:
+            rewritten: List = []
+            for relation, row in pairs:
+                rewritten.extend(
+                    (item.relation, item.row)
+                    for item in self._combiner.process(StreamTuple(relation, row))
+                )
+            pairs = rewritten
+        groups: Dict[str, List[tuple]] = {}
+        for relation, row in pairs:
+            groups.setdefault(relation, []).append(row)
+        inserted = 0
+        reservoir = self.reservoir
+        for relation, rows in groups.items():
+            new_rows = self.index.insert_rows(relation, rows)
+            self.duplicates_ignored += len(rows) - len(new_rows)
+            inserted += len(new_rows)
+            tree = self.index.trees[relation]
+            reservoir.process_deferred_many(
+                tree.delta_batch_sizes(new_rows), tree.delta_batch, new_rows
+            )
+        return inserted
 
     def process(self, stream: Iterable[StreamTuple]) -> "ReservoirJoin":
         """Process a whole stream of :class:`StreamTuple`; returns ``self``."""

@@ -32,7 +32,7 @@ from ..relational.database import Database
 from ..relational.join import delta_results
 from ..relational.query import JoinQuery
 from ..relational.schema import RelationSchema, canonical_attrs
-from ..relational.stream import StreamTuple
+from ..relational.stream import StreamTuple, validated_pairs
 from .ghd import GHD, ghd_for
 
 
@@ -119,12 +119,35 @@ class CyclicReservoirJoin:
         for bag_name, bag_row in other_rows:
             if self.index.insert(bag_name, bag_row):
                 self.bag_tuples_inserted += 1
-        # Covering bag last: each new tuple produces a delta batch.
+        # Covering bag last: each new tuple produces a delta batch.  The
+        # batch is materialised lazily only when the reservoir's pending
+        # skip does not already cover it (see ``process_deferred``).
+        chosen_tree = self.index.trees[chosen]
         for bag_row in chosen_rows:
             if not self.index.insert(chosen, bag_row):
                 continue
             self.bag_tuples_inserted += 1
-            self.reservoir.process_batch(self.index.delta_batch(chosen, bag_row))
+            self.reservoir.process_deferred(
+                chosen_tree.delta_batch_size(bag_row), chosen_tree.delta_batch, bag_row
+            )
+
+    def insert_batch(self, items: Iterable) -> int:
+        """Process a chunk of base-stream tuples.
+
+        The cyclic algorithm's per-tuple work is dominated by the bag-level
+        delta materialisation, which depends on the exact arrival order of
+        base tuples across bags; the chunk is therefore processed tuple by
+        tuple (the amortised bulk index path belongs to the acyclic
+        :class:`~repro.core.reservoir_join.ReservoirJoin`).  The API matches
+        ``ReservoirJoin.insert_batch``: relations are validated up front so a
+        ``KeyError`` for an unknown relation leaves the sampler untouched,
+        and the return value counts new (non-duplicate) base tuples.
+        """
+        pairs = validated_pairs(items, self.query.relation_names, self.query.name)
+        before = self.tuples_processed - self.duplicates_ignored
+        for relation, row in pairs:
+            self.insert(relation, row)
+        return self.tuples_processed - self.duplicates_ignored - before
 
     def _bag_delta(self, bag_name: str, relation: str, row: tuple) -> List[tuple]:
         """New tuples of the bag's materialised sub-join caused by ``row``."""

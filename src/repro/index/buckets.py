@@ -94,6 +94,41 @@ class BucketFamily:
         self.approx = next_pow2(self.cnt)
         return old_approx, self.approx
 
+    def reweight_one(self, entity: Tuple, old_weight: int, new_weight: int) -> None:
+        """:meth:`move` with the bucket bookkeeping flattened (no sub-calls).
+
+        Trusted internal fast path for the bulk propagation loop: weights
+        must already be powers of two (or zero) and ``old_weight`` must match
+        the entity's current bucket — both guaranteed by the index invariants
+        the caller maintains.
+        """
+        buckets = self._buckets
+        if old_weight:
+            exponent = old_weight.bit_length() - 1
+            bucket = buckets[exponent]
+            positions = bucket._positions
+            items = bucket._items
+            position = positions.pop(entity)
+            last = items.pop()
+            if position < len(items):
+                items[position] = last
+                positions[last] = position
+            if not items:
+                del buckets[exponent]
+        if new_weight:
+            exponent = new_weight.bit_length() - 1
+            bucket = buckets.get(exponent)
+            if bucket is None:
+                bucket = Bucket()
+                buckets[exponent] = bucket
+            positions = bucket._positions
+            items = bucket._items
+            positions[entity] = len(items)
+            items.append(entity)
+        count = self.cnt + new_weight - old_weight
+        self.cnt = count
+        self.approx = (1 << (count - 1).bit_length()) if count else 0
+
     def _add(self, entity: Tuple, weight: int) -> None:
         if not is_pow2(weight):
             raise ValueError(f"bucket weights must be powers of two, got {weight}")

@@ -17,7 +17,7 @@ per relation of an acyclic query (each rooted at that relation) over a shared
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.skippable import FunctionBatch
 from ..relational.database import Database
@@ -90,6 +90,25 @@ class DynamicJoinIndex:
         for tree in self.trees.values():
             tree.insert_row(relation, row)
         return True
+
+    def insert_rows(self, relation: str, rows: Iterable[Sequence]) -> List[tuple]:
+        """Bulk-insert several rows into one relation; returns the new rows.
+
+        Duplicates (within the batch or against the database) are dropped and
+        counted in ``duplicates_ignored``.  Every rooted tree is updated with
+        one bulk call instead of one call per tuple; the resulting index
+        state is identical to repeated :meth:`insert`.  A ``KeyError`` is
+        raised for a relation that is not part of the query.
+        """
+        target = self.database[relation]
+        rows = [tuple(row) for row in rows]
+        new_rows = target.insert_many(rows)
+        self.duplicates_ignored += len(rows) - len(new_rows)
+        if new_rows:
+            self.tuples_inserted += len(new_rows)
+            for tree in self.trees.values():
+                tree.insert_rows(relation, new_rows)
+        return new_rows
 
     # ------------------------------------------------------------------ #
     # Delta batches (operation (3) of Theorem 4.2)

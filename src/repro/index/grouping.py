@@ -19,7 +19,7 @@ from typing import Dict, Iterable, Optional, Tuple
 from ..relational.jointree import RootedJoinTree
 from ..relational.query import JoinQuery
 from ..relational.relation import Relation
-from ..relational.schema import RelationSchema, canonical_attrs
+from ..relational.schema import RelationSchema, canonical_attrs, tuple_getter
 from .counters import next_pow2
 
 
@@ -53,6 +53,7 @@ class GroupView:
         self.base = base
         self.attrs = canonical_attrs(attrs)
         self._positions = base.schema.positions_of(self.attrs)
+        self._group_of = tuple_getter(self._positions)
         group_name = name or f"{base.name}@{'_'.join(self.attrs)}"
         self.relation = Relation(RelationSchema(group_name, self.attrs))
         self._feq: Dict[Tuple, int] = {}
@@ -61,7 +62,7 @@ class GroupView:
         base.add_insert_callback(self._absorb)
 
     def _absorb(self, row: Tuple) -> None:
-        group = tuple(row[i] for i in self._positions)
+        group = self._group_of(row)
         self._feq[group] = self._feq.get(group, 0) + 1
         self.relation.insert(group)
 
@@ -70,7 +71,7 @@ class GroupView:
     # ------------------------------------------------------------------ #
     def group_of(self, row: Tuple) -> Tuple:
         """The group tuple (projection onto ``ē``) of a base row."""
-        return tuple(row[i] for i in self._positions)
+        return self._group_of(row)
 
     def feq(self, group: Tuple) -> int:
         """``feq[T, ē, t]``: number of base rows in the group."""

@@ -1,0 +1,26 @@
+"""Batched ingestion: the seam between stream transport and samplers.
+
+Per-tuple ingestion (``sampler.insert(relation, row)``) pays full Python
+dispatch — index lookups, projection-position resolution, reservoir
+bookkeeping — for every arriving tuple.  The ingestion subsystem amortises
+that cost: a :class:`BatchIngestor` cuts a stream into chunks and drives each
+chunk through the sampler's ``insert_batch`` fast path (bulk index updates,
+one counter propagation per touched family, whole-batch skip decisions in
+the reservoir), falling back to per-tuple inserts for samplers that do not
+implement one.
+
+The uniformity guarantee holds at every chunk boundary: after each ingested
+chunk the reservoir is a uniform sample without replacement of the join
+results of the stream prefix ending there.  Choose the chunk size by how
+fresh the sample must be between boundaries — ``chunk_size=1`` degenerates
+to exact per-tuple semantics.
+
+This package is also the architectural seam future scale-out work (sharded
+ingestion, async transport, multi-backend fan-out) plugs into: anything that
+can hand chunks of :class:`~repro.relational.stream.StreamTuple` to a
+:class:`BatchIngestor` participates in the fast path.
+"""
+
+from .batch import BatchIngestor, chunked
+
+__all__ = ["BatchIngestor", "chunked"]

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from .schema import RelationSchema, canonical_attrs
+from .schema import RelationSchema, canonical_attrs, tuple_getter
 
 Row = Tuple
 
@@ -34,17 +34,25 @@ class RelationIndex:
     def __init__(self, relation: "Relation", attrs: Iterable[str]) -> None:
         self.attrs = canonical_attrs(attrs)
         self._positions = relation.schema.positions_of(self.attrs)
+        self._key_of = tuple_getter(self._positions)
         self._groups: Dict[Tuple, List[Row]] = {}
         for row in relation.rows:
             self.add(row)
 
     def key_of(self, row: Row) -> Tuple:
         """Projection of ``row`` onto the index attributes (canonical order)."""
-        return tuple(row[i] for i in self._positions)
+        return self._key_of(row)
 
     def add(self, row: Row) -> None:
         """Register a newly inserted row (called by :class:`Relation`)."""
-        self._groups.setdefault(self.key_of(row), []).append(row)
+        self._groups.setdefault(self._key_of(row), []).append(row)
+
+    def add_many(self, rows: List[Row]) -> None:
+        """Bulk :meth:`add` with the dispatch hoisted out of the row loop."""
+        key_of = self._key_of
+        groups = self._groups
+        for row in rows:
+            groups.setdefault(key_of(row), []).append(row)
 
     def lookup(self, key: Tuple) -> List[Row]:
         """Rows whose projection equals ``key`` (empty list when none)."""
@@ -73,6 +81,7 @@ class ProjectionView:
     def __init__(self, relation: "Relation", attrs: Iterable[str]) -> None:
         self.attrs = canonical_attrs(attrs)
         self._positions = relation.schema.positions_of(self.attrs)
+        self._key_of = tuple_getter(self._positions)
         self._counts: Dict[Tuple, int] = {}
         self._rows: List[Tuple] = []
         for row in relation.rows:
@@ -80,11 +89,11 @@ class ProjectionView:
 
     def key_of(self, row: Row) -> Tuple:
         """Projection of a base row onto the view attributes."""
-        return tuple(row[i] for i in self._positions)
+        return self._key_of(row)
 
     def add(self, row: Row) -> Tuple[Tuple, bool]:
         """Record a base-row insert.  Returns ``(projection, is_new)``."""
-        key = self.key_of(row)
+        key = self._key_of(row)
         count = self._counts.get(key, 0)
         self._counts[key] = count + 1
         if count == 0:
@@ -164,6 +173,43 @@ class Relation:
         for callback in self._on_insert:
             callback(row)
         return True
+
+    def insert_many(self, rows: Iterable[Sequence]) -> List[Row]:
+        """Insert several rows; returns the new (deduplicated) rows in order.
+
+        Behaviourally identical to calling :meth:`insert` per row — the
+        index/view/callback maintenance loops are simply hoisted out of the
+        per-row dispatch, which matters on the batched ingestion hot path.
+        """
+        arity = self.schema.arity
+        rows = [tuple(row) for row in rows]
+        # Validate the whole batch before mutating anything, so a bad row
+        # mid-batch cannot leave the relation half-updated.
+        for row in rows:
+            if len(row) != arity:
+                raise ValueError(
+                    f"row arity {len(row)} does not match relation "
+                    f"{self.schema.name!r} arity {arity}"
+                )
+        row_set = self._row_set
+        stored = self.rows
+        new_rows: List[Row] = []
+        for row in rows:
+            if row in row_set:
+                continue
+            row_set.add(row)
+            stored.append(row)
+            new_rows.append(row)
+        if new_rows:
+            for index in self._indexes.values():
+                index.add_many(new_rows)
+            for view in self._views.values():
+                for row in new_rows:
+                    view.add(row)
+            for callback in self._on_insert:
+                for row in new_rows:
+                    callback(row)
+        return new_rows
 
     def index_on(self, attrs: Iterable[str]) -> RelationIndex:
         """Return (creating and registering if needed) an index on ``attrs``."""

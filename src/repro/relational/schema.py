@@ -10,7 +10,22 @@ giving each role its own :class:`RelationSchema` with renamed attributes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from operator import itemgetter
 from typing import Iterable, Mapping, Sequence, Tuple
+
+
+def tuple_getter(positions: Tuple[int, ...]):
+    """A fast ``row -> tuple(row[i] for i in positions)`` function.
+
+    Runs at C speed (``operator.itemgetter``) for two or more positions;
+    projection hot paths resolve positions once and reuse the getter.
+    """
+    if not positions:
+        return lambda row: ()
+    if len(positions) == 1:
+        single = itemgetter(positions[0])
+        return lambda row: (single(row),)
+    return itemgetter(*positions)
 
 
 def canonical_attrs(attrs: Iterable[str]) -> Tuple[str, ...]:
@@ -46,6 +61,10 @@ class RelationSchema:
         if not attrs:
             raise ValueError(f"relation {self.name!r} must have at least one attribute")
         object.__setattr__(self, "attrs", attrs)
+        # Memoised results of positions_of: projections sit on every index
+        # hot path and always target the same handful of attribute subsets.
+        object.__setattr__(self, "_positions_cache", {})
+        object.__setattr__(self, "_getter_cache", {})
 
     @property
     def attr_set(self) -> frozenset:
@@ -62,8 +81,13 @@ class RelationSchema:
 
         Raises ``KeyError`` if any attribute is not part of the schema.
         """
-        index = {a: i for i, a in enumerate(self.attrs)}
-        return tuple(index[a] for a in canonical_attrs(attrs))
+        key = attrs if isinstance(attrs, tuple) else tuple(attrs)
+        cached = self._positions_cache.get(key)
+        if cached is None:
+            index = {a: i for i, a in enumerate(self.attrs)}
+            cached = tuple(index[a] for a in canonical_attrs(key))
+            self._positions_cache[key] = cached
+        return cached
 
     def project(self, row: Sequence, attrs: Iterable[str]) -> Tuple:
         """Project ``row`` (ordered by this schema) onto ``attrs``.
@@ -72,7 +96,12 @@ class RelationSchema:
         so projections from different relations onto the same attribute set
         are directly comparable.
         """
-        return tuple(row[i] for i in self.positions_of(attrs))
+        key = attrs if isinstance(attrs, tuple) else tuple(attrs)
+        getter = self._getter_cache.get(key)
+        if getter is None:
+            getter = tuple_getter(self.positions_of(key))
+            self._getter_cache[key] = getter
+        return getter(row)
 
     def row_from_mapping(self, values: Mapping[str, object]) -> Tuple:
         """Build a row tuple from a ``{attribute: value}`` mapping."""

@@ -29,6 +29,40 @@ class StreamTuple:
         object.__setattr__(self, "row", tuple(self.row))
 
 
+def as_relation_rows(items: Iterable) -> List[Tuple[str, Tuple]]:
+    """Normalise a batch of stream items to ``(relation, row_tuple)`` pairs.
+
+    Accepts :class:`StreamTuple` instances and plain ``(relation, row)``
+    pairs interchangeably, which is what the ``insert_batch`` APIs take.
+    """
+    pairs: List[Tuple[str, Tuple]] = []
+    for item in items:
+        if isinstance(item, StreamTuple):
+            pairs.append((item.relation, item.row))
+        else:
+            relation, row = item
+            pairs.append((relation, tuple(row)))
+    return pairs
+
+
+def validated_pairs(items: Iterable, known: Iterable[str], query_name: str) -> List[Tuple[str, Tuple]]:
+    """Normalise a batch and reject unknown relations before any mutation.
+
+    The shared front half of every ``insert_batch`` implementation: returns
+    the ``(relation, row)`` pairs of :func:`as_relation_rows`, raising
+    ``KeyError`` if any pair names a relation outside ``known`` — so a
+    failed call leaves the sampler untouched.
+    """
+    pairs = as_relation_rows(items)
+    known = set(known)
+    for relation, _ in pairs:
+        if relation not in known:
+            raise KeyError(
+                f"relation {relation!r} is not part of query {query_name!r}"
+            )
+    return pairs
+
+
 def stream_from_rows(relation: str, rows: Iterable[Sequence], start: int = 0) -> List[StreamTuple]:
     """Build a stream inserting ``rows`` into a single relation, in order."""
     return [

@@ -12,6 +12,21 @@ from repro.stats.uniformity import result_key
 
 
 # ---------------------------------------------------------------------- #
+# Markers
+# ---------------------------------------------------------------------- #
+def pytest_collection_modifyitems(items) -> None:
+    """Auto-mark everything under tests/statistical/ as ``slow``.
+
+    The statistical suites run samplers hundreds of times per assertion; the
+    default run (`python -m pytest -x -q`) deselects them via the
+    ``-m "not slow"`` addopts in pytest.ini.  Run them with ``pytest -m slow``.
+    """
+    for item in items:
+        if "statistical" in str(getattr(item, "fspath", "")):
+            item.add_marker(pytest.mark.slow)
+
+
+# ---------------------------------------------------------------------- #
 # Queries used across many tests
 # ---------------------------------------------------------------------- #
 @pytest.fixture
