@@ -17,6 +17,12 @@ tuple-at-a-time processing.  The synopsis is then used to estimate a
 group-by aggregate, compared with the exact answer computed by the
 symmetric-hash-join oracle.
 
+The second half scales the same pipeline horizontally: a
+:class:`repro.ShardedIngestor` hash-partitions the feed across independent
+synopsis replicas (one per shard, parallelizable across workers) and
+recombines them with ``merged_sample`` — an *exactly* uniform sample of the
+global join, good for the same analytics.
+
 Run it with:  python examples/streaming_warehouse.py
 """
 
@@ -25,7 +31,7 @@ from __future__ import annotations
 import random
 from collections import Counter
 
-from repro import BatchIngestor, ReservoirJoin, SymmetricHashJoinSampler
+from repro import BatchIngestor, ReservoirJoin, ShardedIngestor, SymmetricHashJoinSampler
 from repro.workloads import tpcds
 
 #: Micro-batch size of the simulated warehouse feed.  Analytics consumers
@@ -85,6 +91,25 @@ def main() -> None:
 
     worst = max(abs(exact[c] - estimated[c]) for c in exact)
     print(f"\nlargest absolute estimation error across categories: {worst:.1%}")
+
+    # ------------------------------------------------------------------ #
+    # Scale-out: the same synopsis, sharded across replicas
+    # ------------------------------------------------------------------ #
+    sharded = ShardedIngestor(
+        query, k=500, num_shards=4, chunk_size=CHUNK_SIZE, rng=random.Random(3)
+    )
+    sharded.ingest(stream)
+    shard_stats = sharded.statistics()
+    merged = sharded.merged_sample()
+    sharded_shares = category_shares(merged)
+    worst_sharded = max(abs(exact[c] - sharded_shares[c]) for c in exact)
+    print(f"\nsharded synopsis ({shard_stats['num_shards']} shards, partitioned "
+          f"on {shard_stats['partition_attr']!r}):")
+    print(f"  per-shard stream tuples:          {shard_stats['shard_tuples']}")
+    print(f"  per-shard join results (exact):   {sharded.shard_counts()}")
+    print(f"  broadcast deliveries:             {shard_stats['broadcast_deliveries']}")
+    print(f"  merged sample size:               {len(merged)}")
+    print(f"  largest sharded estimation error: {worst_sharded:.1%}")
 
 
 if __name__ == "__main__":

@@ -14,7 +14,7 @@ The most commonly used entry points are re-exported at the package root:
 
 Choosing an ingestion mode
 --------------------------
-Every sampler supports two equivalent ways of consuming a stream:
+Every sampler supports three interchangeable ways of consuming a stream:
 
 * **Per-tuple** — ``sampler.insert(relation, row)``.  The reservoir is a
   uniform sample without replacement of the join results after *every single
@@ -24,13 +24,26 @@ Every sampler supports two equivalent ways of consuming a stream:
 * **Batched** — ``BatchIngestor(sampler, chunk_size).ingest(stream)`` (or
   ``sampler.insert_batch(chunk)`` directly).  Tuples are absorbed in chunks:
   bulk index maintenance touches each counter path once per batch and whole
-  delta batches are skipped without being materialised.  The uniformity
-  guarantee holds at every *chunk boundary*; between boundaries the sample
-  lags by less than one chunk.  Use it for heavy streams where throughput is
-  the goal — it is several times faster end to end and is the seam future
-  sharding/async transports plug into (see ``repro/ingest/``).
+  delta batches are skipped without being materialised.  This holds for the
+  cyclic sampler too — ``CyclicReservoirJoin.insert_batch`` bulk-updates the
+  GHD bag indexes once per touched bag per batch.  The uniformity guarantee
+  holds at every *chunk boundary*; between boundaries the sample lags by
+  less than one chunk.  Use it for heavy streams where throughput is the
+  goal — it is several times faster end to end.
+* **Sharded** — ``ShardedIngestor(query, k, num_shards).ingest(stream)``.
+  Chunks are hash-partitioned on a partition attribute across independent
+  per-shard sampler replicas (relations lacking the attribute are broadcast),
+  so the per-chunk work parallelises across shards with no shared state —
+  ``ingest_parallel`` runs one worker process per shard.  Because every join
+  result binds the partition attribute to one value, the shard-local result
+  sets partition the global result set; ``merged_sample(k)`` recombines the
+  shard reservoirs by exact-count-weighted subsampling into a sample that is
+  *exactly* uniform over the global join at every chunk boundary.  Choose it
+  when a single ingestion thread cannot keep up with the stream; for
+  single-threaded workloads plain batched ingestion does strictly less work
+  (broadcast relations are replicated per shard).
 
-Both modes draw from exactly the same join-result distribution;
+All modes draw from exactly the same join-result distribution;
 ``chunk_size=1`` makes the batched mode degenerate to per-tuple semantics.
 
 See ``examples/quickstart.py`` for a five-minute tour and
@@ -45,6 +58,7 @@ from .core.predicate_reservoir import PredicateReservoir
 from .core.batch_reservoir import BatchedPredicateReservoir
 from .core.reservoir_join import ReservoirJoin
 from .ingest.batch import BatchIngestor
+from .ingest.shard import ShardedIngestor
 from .index.dynamic_index import DynamicJoinIndex
 from .index.two_table import TwoTableIndex
 from .index.foreign_key import ForeignKeyCombiner
@@ -66,6 +80,7 @@ __all__ = [
     "BatchedPredicateReservoir",
     "ReservoirJoin",
     "BatchIngestor",
+    "ShardedIngestor",
     "DynamicJoinIndex",
     "TwoTableIndex",
     "ForeignKeyCombiner",

@@ -8,6 +8,8 @@ from .harness import (
     percentile,
     progress_run,
     run_sampler,
+    run_sampler_batched,
+    run_sampler_sharded,
     run_with_timeout,
     speedup,
 )
@@ -21,6 +23,8 @@ __all__ = [
     "percentile",
     "progress_run",
     "run_sampler",
+    "run_sampler_batched",
+    "run_sampler_sharded",
     "run_with_timeout",
     "speedup",
     "format_series",

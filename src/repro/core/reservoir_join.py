@@ -27,7 +27,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from ..index.dynamic_index import DynamicJoinIndex
 from ..index.foreign_key import ForeignKeyCombiner
 from ..relational.query import JoinQuery
-from ..relational.stream import StreamTuple, as_relation_rows
+from ..relational.stream import StreamTuple, validated_items
 from .batch_reservoir import BatchedPredicateReservoir
 
 
@@ -129,22 +129,7 @@ class ReservoirJoin:
         rows of the wrong arity raise ``ValueError`` — in both cases before
         any state is modified, so a failed call leaves the sampler untouched.
         """
-        pairs = as_relation_rows(items)
-        arities = {
-            schema.name: schema.arity for schema in self.original_query.relations
-        }
-        for relation, row in pairs:
-            arity = arities.get(relation)
-            if arity is None:
-                raise KeyError(
-                    f"relation {relation!r} is not part of query "
-                    f"{self.original_query.name!r}"
-                )
-            if len(row) != arity:
-                raise ValueError(
-                    f"row arity {len(row)} does not match relation "
-                    f"{relation!r} arity {arity}"
-                )
+        pairs = validated_items(items, self.original_query)
         self.tuples_processed += len(pairs)
         if self._combiner is not None:
             rewritten: List = []

@@ -121,6 +121,18 @@ class DynamicJoinIndex:
         """``|ΔJ|`` for a row just inserted into ``relation``."""
         return self.trees[relation].delta_batch_size(tuple(row))
 
+    def delta_batch_sizes(self, relation: str, rows: Sequence[Sequence]) -> List[int]:
+        """``|ΔJ|`` for several rows just inserted into ``relation``.
+
+        The bulk companion of :meth:`delta_batch_size`, completing the
+        index-level batched API (projection positions resolved once per
+        batch).  The sampler hot paths hold the relation's
+        :class:`~repro.index.tree_index.TreeIndex` already and call its
+        ``delta_batch_sizes`` directly; this wrapper is for external callers
+        that address the index by relation name.
+        """
+        return self.trees[relation].delta_batch_sizes([tuple(row) for row in rows])
+
     # ------------------------------------------------------------------ #
     # Full-query sampling (operation (2) of Theorem 4.2)
     # ------------------------------------------------------------------ #

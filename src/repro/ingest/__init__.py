@@ -15,12 +15,25 @@ results of the stream prefix ending there.  Choose the chunk size by how
 fresh the sample must be between boundaries — ``chunk_size=1`` degenerates
 to exact per-tuple semantics.
 
-This package is also the architectural seam future scale-out work (sharded
-ingestion, async transport, multi-backend fan-out) plugs into: anything that
-can hand chunks of :class:`~repro.relational.stream.StreamTuple` to a
-:class:`BatchIngestor` participates in the fast path.
+This package is also the architectural seam scale-out work plugs into:
+anything that can hand chunks of
+:class:`~repro.relational.stream.StreamTuple` to a :class:`BatchIngestor`
+participates in the fast path.  :class:`ShardedIngestor` is the first such
+extension: it hash-partitions chunks across independent per-shard sampler
+replicas (broadcasting the relations that lack the partition attribute) and
+merges the shard-local reservoirs into one exactly-uniform sample via
+weighted subsampling (see :mod:`repro.ingest.shard` for the merge rule and
+its uniformity argument).  Async transport and multi-backend fan-out remain
+open follow-ups on the same seam.
 """
 
 from .batch import BatchIngestor, chunked
+from .shard import ShardedIngestor, partition_attribute, stable_shard_hash
 
-__all__ = ["BatchIngestor", "chunked"]
+__all__ = [
+    "BatchIngestor",
+    "chunked",
+    "ShardedIngestor",
+    "partition_attribute",
+    "stable_shard_hash",
+]

@@ -1,0 +1,476 @@
+"""Sharded ingestion: hash-partitioned sampler replicas with an exact merge.
+
+:class:`ShardedIngestor` scales the batched ingestion seam horizontally.  A
+*partition attribute* is chosen (by default the attribute shared by the most
+relations); every arriving chunk is split by a stable hash of that
+attribute's value, relations that do not contain the attribute are broadcast
+to every shard, and each shard runs its own independent sampler replica over
+its share of the stream.  Shards share no mutable state, so the per-chunk
+work is embarrassingly parallel — :meth:`ShardedIngestor.ingest_parallel`
+runs one worker process per shard on multi-core machines, while the serial
+:meth:`ShardedIngestor.ingest` keeps the same semantics for deterministic,
+seedable runs.
+
+Correctness (the merge rule)
+----------------------------
+Every join result binds the partition attribute to a single value, so each
+result is *formable in exactly one shard*: the shard owning the hash of that
+value holds all of the result's partitioned tuples plus every broadcast
+tuple.  The shard-local join result sets therefore partition the global
+result set, and each shard's reservoir is — by the per-sampler guarantee — a
+uniform sample without replacement of its local set at every chunk boundary.
+
+:meth:`ShardedIngestor.merged_sample` turns those shard-local reservoirs
+into one uniform sample of the *global* join via weighted subsampling:
+
+1. the exact local result count ``n_s`` of every shard is computed from its
+   index in ``O(N)`` (:func:`repro.relational.join.count_results`);
+2. ``k`` distinct virtual positions are drawn uniformly from ``range(sum
+   n_s)`` and mapped to shards — this realises the multivariate
+   hypergeometric allocation ``(k_1, …, k_S)`` of a uniform ``k``-subset of
+   the disjoint union;
+3. each shard contributes a uniform ``k_s``-subset of its reservoir.  A
+   uniform random subset of a uniform-without-replacement sample is itself a
+   uniform-without-replacement sample of the underlying set, so the merged
+   probability of any fixed ``k``-subset factorises to ``1 / C(sum n_s, k)``
+   — exact uniformity, not an approximation.
+
+The allocation can demand up to ``min(k, n_s)`` items from shard ``s``, so
+per-shard reservoir capacity must be at least the merged sample size (the
+default replica uses the same ``k``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import random
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.reservoir_join import ReservoirJoin
+from ..relational.join import count_results
+from ..relational.query import JoinQuery
+from ..relational.schema import tuple_getter
+from ..relational.stream import StreamTuple, validated_items
+from .batch import DEFAULT_CHUNK_SIZE, BatchIngestor, chunked
+
+#: Default shard count; the tentpole benchmark uses this value.
+DEFAULT_NUM_SHARDS = 4
+
+
+def stable_shard_hash(value: Sequence) -> int:
+    """A deterministic hash of a projection tuple, stable across processes
+    and consistent with join equality.
+
+    Two requirements, neither met by the obvious candidates alone:
+
+    * **process stability** — ``hash()`` is salted per process for strings,
+      which would route the same tuple to different shards in different
+      runs, so string/bytes components are digested instead;
+    * **equality consistency** — the join indexes compare values with ``==``
+      (``1 == 1.0 == True``), so join-equal components of different numeric
+      types must land on the same shard.  A ``repr``-based digest would
+      split them; for non-string components the built-in ``hash`` is used
+      — it is equality-consistent by contract and unsalted for numeric
+      types.
+
+    Components must be strings, bytes, ``None`` or hashables whose built-in
+    hash is process-stable (numbers, and tuples thereof) — which is what
+    relation rows are made of.
+    """
+    hasher = hashlib.blake2b(digest_size=8)
+    for component in value:
+        if isinstance(component, str):
+            hasher.update(b"s")
+            hasher.update(component.encode("utf-8"))
+        elif isinstance(component, bytes):
+            hasher.update(b"b")
+            hasher.update(component)
+        elif component is None:  # hash(None) is id-derived before 3.12
+            hasher.update(b"n")
+        else:
+            hasher.update(b"h")
+            hasher.update(hash(component).to_bytes(9, "big", signed=True))
+    return int.from_bytes(hasher.digest(), "big")
+
+
+def partition_attribute(query: JoinQuery) -> str:
+    """The default partition attribute: contained in the most relations.
+
+    Relations not containing the attribute must be broadcast to every shard,
+    so maximising coverage minimises replicated work.  Ties break by
+    canonical attribute order, keeping the choice deterministic.
+    """
+    best: Optional[str] = None
+    best_cover = -1
+    for attr in query.output_attrs():
+        cover = len(query.relations_with_attr(attr))
+        if cover > best_cover:
+            best, best_cover = attr, cover
+    assert best is not None  # a query has at least one relation/attribute
+    return best
+
+
+def exact_result_count(sampler) -> int:
+    """Exact size of the join result set a sampler's reservoir draws from.
+
+    Works for any sampler built on :class:`~repro.index.dynamic_index
+    .DynamicJoinIndex` (``ReservoirJoin`` counts its working query's join;
+    ``CyclicReservoirJoin`` counts the bag join, which equals the original
+    query's result set).
+    """
+    index = getattr(sampler, "index", None)
+    if index is None:
+        raise TypeError(
+            f"{type(sampler).__name__} does not expose a dynamic index; "
+            "the sharded merge needs exact local result counts"
+        )
+    return count_results(index.query, index.database)
+
+
+@dataclass
+class _ShardState:
+    """What the merge needs from one shard: reservoir, exact count, capacity."""
+
+    sample: List[dict]
+    count: int
+    capacity: int
+    statistics: Dict[str, object] = field(default_factory=dict)
+
+
+def _ingest_shard_worker(payload) -> Tuple[List[dict], int, int, Dict[str, object]]:
+    """One shard's full ingestion, run in a worker process.
+
+    Builds the default replica from a picklable spec, drives the shard's
+    sub-stream through the batched fast path, and returns exactly the state
+    the parent needs for merging — the reservoir, the exact local result
+    count, the capacity, and the replica's statistics.
+    """
+    name, spec, keys, k, seed, chunk_size, pairs = payload
+    query = JoinQuery.from_spec(name, spec, keys=keys or None)
+    sampler = ReservoirJoin(query, k, rng=random.Random(seed))
+    BatchIngestor(sampler, chunk_size=chunk_size).ingest(pairs)
+    return sampler.sample, exact_result_count(sampler), sampler.k, sampler.statistics()
+
+
+class ShardedIngestor:
+    """Partition a stream across per-shard sampler replicas and merge exactly.
+
+    Parameters
+    ----------
+    query:
+        The join query (acyclic or cyclic — the replica factory decides).
+    k:
+        Default merged sample size; also the reservoir capacity of the
+        default per-shard replicas.
+    num_shards:
+        How many shards to partition across.
+    chunk_size:
+        Stream tuples per ingested chunk (uniformity holds at every chunk
+        boundary, exactly as for :class:`BatchIngestor`).
+    partition_attr:
+        Attribute to hash-partition on; defaults to the attribute contained
+        in the most relations (:func:`partition_attribute`).  Relations not
+        containing it are broadcast to every shard.
+    factory:
+        Optional ``factory(shard_index, rng) -> sampler`` building one
+        replica per shard; defaults to a plain :class:`ReservoirJoin` of
+        size ``k``.  Replicas must expose ``index`` (for exact counts) and
+        ``sample``; :meth:`ingest_parallel` supports only the default.
+    rng:
+        Seedable randomness source; derives one independent RNG per shard
+        and drives the merge subsampling.
+    """
+
+    def __init__(
+        self,
+        query: JoinQuery,
+        k: int,
+        num_shards: int = DEFAULT_NUM_SHARDS,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        partition_attr: Optional[str] = None,
+        factory: Optional[Callable[[int, random.Random], object]] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if k <= 0:
+            raise ValueError("sample size k must be positive")
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        self.query = query
+        self.k = k
+        self.num_shards = num_shards
+        self.chunk_size = chunk_size
+        self.partition_attr = partition_attr or partition_attribute(query)
+        if self.partition_attr not in query.attributes:
+            raise ValueError(
+                f"partition attribute {self.partition_attr!r} is not an "
+                f"attribute of query {query.name!r}"
+            )
+        self._rng = rng if rng is not None else random.Random()
+        self._shard_seeds = [self._rng.getrandbits(48) for _ in range(num_shards)]
+        self._custom_factory = factory is not None
+        if factory is None:
+            factory = lambda shard, shard_rng: ReservoirJoin(query, k, rng=shard_rng)
+        self.samplers = [
+            factory(shard, random.Random(self._shard_seeds[shard]))
+            for shard in range(num_shards)
+        ]
+        self.ingestors = [
+            BatchIngestor(sampler, chunk_size=chunk_size) for sampler in self.samplers
+        ]
+        # Projection getters for the relations that carry the partition
+        # attribute; every other relation is broadcast.
+        self._value_getters: Dict[str, Callable] = {}
+        for schema in query.relations:
+            if self.partition_attr in schema.attr_set:
+                self._value_getters[schema.name] = tuple_getter(
+                    schema.positions_of((self.partition_attr,))
+                )
+        self.tuples_ingested = 0
+        self.batches_ingested = 0
+        self.broadcast_deliveries = 0
+        self._counts: Optional[List[int]] = None
+        self._frozen: Optional[List[_ShardState]] = None
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    @property
+    def broadcast_relations(self) -> Tuple[str, ...]:
+        """Relations replicated to every shard (no partition attribute)."""
+        return tuple(
+            name for name in self.query.relation_names
+            if name not in self._value_getters
+        )
+
+    def shard_of(self, relation: str, row: Sequence) -> Optional[int]:
+        """The shard owning ``(relation, row)``, or ``None`` for broadcast."""
+        getter = self._value_getters.get(relation)
+        if getter is None:
+            if relation not in self.query:
+                raise KeyError(
+                    f"relation {relation!r} is not part of query {self.query.name!r}"
+                )
+            return None
+        return stable_shard_hash(getter(tuple(row))) % self.num_shards
+
+    def partition(self, items: Iterable) -> List[List[Tuple[str, Tuple]]]:
+        """Split a batch into per-shard ``(relation, row)`` sub-batches.
+
+        The whole batch is validated first (unknown relation → ``KeyError``,
+        wrong arity → ``ValueError``) so a failed call leaves every shard
+        untouched.  Broadcast tuples appear in every shard's sub-batch.
+        """
+        pairs = validated_items(items, self.query)
+        parts: List[List[Tuple[str, Tuple]]] = [[] for _ in range(self.num_shards)]
+        getters = self._value_getters
+        num_shards = self.num_shards
+        for pair in pairs:
+            getter = getters.get(pair[0])
+            if getter is None:
+                for part in parts:
+                    part.append(pair)
+            else:
+                parts[stable_shard_hash(getter(pair[1])) % num_shards].append(pair)
+        return parts
+
+    # ------------------------------------------------------------------ #
+    # Ingestion
+    # ------------------------------------------------------------------ #
+    def ingest_batch(self, items: Sequence) -> int:
+        """Partition one chunk across the shards and ingest every sub-chunk.
+
+        Returns the number of stream tuples pushed (before broadcast
+        replication).  All shard reservoirs are uniform over their local
+        result sets when this returns — a chunk boundary is a safe point to
+        call :meth:`merged_sample`.
+        """
+        if self._frozen is not None:
+            raise RuntimeError(
+                "this ingestor was finalised by ingest_parallel(); "
+                "build a new one to ingest more"
+            )
+        items = list(items)
+        if not items:
+            return 0
+        parts = self.partition(items)
+        for ingestor, part in zip(self.ingestors, parts):
+            if part:
+                ingestor.ingest_batch(part)
+        self.tuples_ingested += len(items)
+        self.batches_ingested += 1
+        self.broadcast_deliveries += sum(map(len, parts)) - len(items)
+        self._counts = None
+        return len(items)
+
+    def ingest(self, stream: Iterable[StreamTuple]) -> "ShardedIngestor":
+        """Cut ``stream`` into chunks and ingest them all; returns ``self``."""
+        for chunk in chunked(stream, self.chunk_size):
+            self.ingest_batch(chunk)
+        return self
+
+    def ingest_parallel(
+        self, stream: Iterable[StreamTuple], processes: Optional[int] = None
+    ) -> "ShardedIngestor":
+        """Ingest the whole stream with one worker process per shard.
+
+        Shards share no state, so each worker independently replays its
+        sub-stream through the batched fast path and ships back exactly what
+        the merge needs (reservoir, exact count, statistics).  Per-shard
+        randomness uses the same derived seeds as the serial path.  After
+        this call the ingestor is finalised: :meth:`merged_sample` and
+        :meth:`statistics` keep working, further ingestion raises.
+
+        Only the default replica factory is supported (custom factories are
+        generally not picklable), and the call must be the first ingestion
+        performed by this instance.
+        """
+        if self._custom_factory:
+            raise RuntimeError(
+                "ingest_parallel supports only the default ReservoirJoin replicas"
+            )
+        if self.tuples_ingested or self._frozen is not None:
+            raise RuntimeError("ingest_parallel must be the first ingestion")
+        items = list(stream)
+        parts = self.partition(items)
+        spec = {schema.name: list(schema.attrs) for schema in self.query.relations}
+        keys = {constraint.relation: list(constraint.attrs) for constraint in self.query.keys}
+        payloads = [
+            (
+                self.query.name,
+                spec,
+                keys,
+                self.k,
+                self._shard_seeds[shard],
+                self.chunk_size,
+                parts[shard],
+            )
+            for shard in range(self.num_shards)
+        ]
+        workers = processes or min(self.num_shards, os.cpu_count() or 1)
+        with multiprocessing.Pool(workers) as pool:
+            results = pool.map(_ingest_shard_worker, payloads)
+        self._frozen = [
+            _ShardState(sample, count, capacity, dict(stats))
+            for sample, count, capacity, stats in results
+        ]
+        self.tuples_ingested = len(items)
+        self.broadcast_deliveries += sum(map(len, parts)) - len(items)
+        # One batch per global chunk, matching what serial ingest() counts.
+        self.batches_ingested = -(-len(items) // self.chunk_size)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Merging
+    # ------------------------------------------------------------------ #
+    def _states(self) -> List[_ShardState]:
+        if self._frozen is not None:
+            return self._frozen
+        counts = self.shard_counts()
+        return [
+            _ShardState(sampler.sample, counts[shard], getattr(sampler, "k", self.k))
+            for shard, sampler in enumerate(self.samplers)
+        ]
+
+    def shard_counts(self) -> List[int]:
+        """Exact local join result counts, one per shard (cached)."""
+        if self._frozen is not None:
+            return [state.count for state in self._frozen]
+        if self._counts is None:
+            self._counts = [exact_result_count(sampler) for sampler in self.samplers]
+        return list(self._counts)
+
+    def total_results(self) -> int:
+        """Exact ``|Q(R)|`` of the global join (sum of disjoint shard counts)."""
+        return sum(self.shard_counts())
+
+    def merged_sample(
+        self, k: Optional[int] = None, rng: Optional[random.Random] = None
+    ) -> List[dict]:
+        """A uniform sample without replacement of the global join results.
+
+        Draws ``min(k, |Q(R)|)`` results by hypergeometric allocation across
+        the shard-local reservoirs followed by uniform subsampling within
+        each shard (see the module docstring for the uniformity argument).
+        Repeated calls draw independent merged samples from the same shard
+        state.  ``k`` defaults to the constructor's ``k`` and may not exceed
+        any overflowing shard's reservoir capacity.
+        """
+        if k is None:
+            k = self.k
+        if k <= 0:
+            raise ValueError("merged sample size must be positive")
+        rng = rng if rng is not None else self._rng
+        states = self._states()
+        total = sum(state.count for state in states)
+        k_eff = min(k, total)
+        if k_eff == 0:
+            return []
+        boundaries: List[int] = []
+        running = 0
+        for state in states:
+            if state.count > state.capacity and k_eff > state.capacity:
+                raise ValueError(
+                    f"merged sample of size {k_eff} needs per-shard reservoir "
+                    f"capacity >= {k_eff}, but a shard holding "
+                    f"{state.count} results has capacity {state.capacity}"
+                )
+            if len(state.sample) != min(state.capacity, state.count):
+                raise RuntimeError(
+                    f"shard reservoir holds {len(state.sample)} results but the "
+                    f"exact local count is {state.count} (capacity "
+                    f"{state.capacity}); the shard sampler is not uniform over "
+                    "its local join"
+                )
+            running += state.count
+            boundaries.append(running)
+        # A uniform k-subset of range(total) realises the multivariate
+        # hypergeometric allocation over the disjoint shard ranges.
+        allocation = [0] * len(states)
+        for position in rng.sample(range(total), k_eff):
+            allocation[bisect_right(boundaries, position)] += 1
+        merged: List[dict] = []
+        for state, take in zip(states, allocation):
+            if take:
+                merged.extend(rng.sample(state.sample, take))
+        return merged
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+    def statistics(self) -> Dict[str, object]:
+        """Ingestion counters and per-shard load — all O(1), safe per chunk.
+
+        Deliberately excludes the exact shard result counts: those cost an
+        O(N) count pass per shard when the cache is cold, which would turn
+        per-chunk observability polling into quadratic total work.  Call
+        :meth:`shard_counts` / :meth:`total_results` explicitly when exact
+        figures are worth that price.
+        """
+        if self._frozen is not None:
+            shard_tuples = [
+                int(state.statistics.get("tuples_processed", 0))
+                for state in self._frozen
+            ]
+        else:
+            shard_tuples = [ingestor.tuples_ingested for ingestor in self.ingestors]
+        return {
+            "num_shards": self.num_shards,
+            "partition_attr": self.partition_attr,
+            "chunk_size": self.chunk_size,
+            "tuples_ingested": self.tuples_ingested,
+            "batches_ingested": self.batches_ingested,
+            "broadcast_deliveries": self.broadcast_deliveries,
+            "broadcast_relations": list(self.broadcast_relations),
+            "shard_tuples": shard_tuples,
+            "parallel": self._frozen is not None,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedIngestor({self.query.name!r}, k={self.k}, "
+            f"shards={self.num_shards}, partition_attr={self.partition_attr!r})"
+        )

@@ -17,6 +17,7 @@ from .stream import (
 from .acyclicity import gyo_reduction, is_acyclic, join_tree_edges, verify_join_tree
 from .jointree import JoinTree, RootedJoinTree, TreeNode
 from .join import (
+    count_results,
     delta_results,
     delta_size,
     iter_delta_results,
@@ -50,6 +51,7 @@ __all__ = [
     "JoinTree",
     "RootedJoinTree",
     "TreeNode",
+    "count_results",
     "delta_results",
     "delta_size",
     "iter_delta_results",

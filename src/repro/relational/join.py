@@ -100,6 +100,56 @@ def join_size(query: JoinQuery, database: Database) -> int:
     return sum(1 for _ in iter_join_results(query, database))
 
 
+def count_results(query: JoinQuery, database: Database) -> int:
+    """Exact ``|Q(R)|`` without enumerating the results.
+
+    For acyclic queries the count is computed by the classic bottom-up
+    dynamic program over a join tree: each node aggregates, per key tuple,
+    the exact number of sub-join results below it, so the total cost is
+    ``O(N)`` index lookups instead of ``O(|Q(R)|)`` enumeration steps.  This
+    is what the sharded ingestion merge uses to weight shard-local
+    reservoirs exactly (see :mod:`repro.ingest.shard`).  Cyclic queries fall
+    back to enumeration.
+    """
+    if not query.is_acyclic():
+        return join_size(query, database)
+    from .jointree import JoinTree
+    from .schema import tuple_getter
+
+    rooted = JoinTree(query).rooted_at(query.relation_names[0])
+    degrees: Dict[str, Dict[Tuple, int]] = {}
+    for name in rooted.bottom_up_order():
+        schema = query.relation(name)
+        node = rooted.node(name)
+        child_info = [
+            (degrees[child], tuple_getter(schema.positions_of(rooted.key_of(child))))
+            for child in node.children
+        ]
+        if node.is_root:
+            total = 0
+            for row in database[name].rows:
+                weight = 1
+                for degree, project in child_info:
+                    weight *= degree.get(project(row), 0)
+                    if not weight:
+                        break
+                total += weight
+            return total
+        key_of = tuple_getter(schema.positions_of(node.key_attrs))
+        counts: Dict[Tuple, int] = {}
+        for row in database[name].rows:
+            weight = 1
+            for degree, project in child_info:
+                weight *= degree.get(project(row), 0)
+                if not weight:
+                    break
+            if weight:
+                key = key_of(row)
+                counts[key] = counts.get(key, 0) + weight
+        degrees[name] = counts
+    raise AssertionError("unreachable: a rooted join tree always has a root")
+
+
 def delta_results(
     query: JoinQuery,
     database: Database,

@@ -63,6 +63,33 @@ def validated_pairs(items: Iterable, known: Iterable[str], query_name: str) -> L
     return pairs
 
 
+def validated_items(items: Iterable, query) -> List[Tuple[str, Tuple]]:
+    """Normalise a batch and validate it against ``query`` before any mutation.
+
+    The strict front half of the ``insert_batch`` implementations: returns
+    the ``(relation, row)`` pairs of :func:`as_relation_rows`, raising
+    ``KeyError`` for a pair naming a relation outside the query and
+    ``ValueError`` for a row whose arity does not match its relation's schema.
+    Both checks run over the *whole* batch before the caller touches any
+    state, so a failed call leaves the sampler untouched — no partial
+    mutation, whatever the position of the bad item in the batch.
+    """
+    pairs = as_relation_rows(items)
+    arities = {schema.name: schema.arity for schema in query.relations}
+    for relation, row in pairs:
+        arity = arities.get(relation)
+        if arity is None:
+            raise KeyError(
+                f"relation {relation!r} is not part of query {query.name!r}"
+            )
+        if len(row) != arity:
+            raise ValueError(
+                f"row arity {len(row)} does not match relation "
+                f"{relation!r} arity {arity}"
+            )
+    return pairs
+
+
 def stream_from_rows(relation: str, rows: Iterable[Sequence], start: int = 0) -> List[StreamTuple]:
     """Build a stream inserting ``rows`` into a single relation, in order."""
     return [

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import random
 from typing import Dict, List, Sequence, Tuple
 
@@ -24,6 +25,20 @@ def pytest_collection_modifyitems(items) -> None:
     for item in items:
         if "statistical" in str(getattr(item, "fspath", "")):
             item.add_marker(pytest.mark.slow)
+
+
+def stat_trials(default: int) -> int:
+    """Trial count for the statistical suites, tunable via the environment.
+
+    ``REPRO_STAT_TRIALS`` scales every suite proportionally: a suite whose
+    full-strength count is ``default`` runs ``default * REPRO_STAT_TRIALS /
+    300`` trials (minimum 20, so the chi-square approximation stays sane).
+    ``REPRO_STAT_TRIALS=60`` is the CI smoke profile — the whole ``-m slow``
+    selection finishes in well under two minutes while still flagging gross
+    distributional bugs; leave it unset for full statistical power.
+    """
+    base = int(os.environ.get("REPRO_STAT_TRIALS", "300"))
+    return max(20, default * base // 300)
 
 
 # ---------------------------------------------------------------------- #
@@ -109,6 +124,7 @@ def materialize_batch(batch) -> List[object]:
 
 
 __all__ = [
+    "stat_trials",
     "make_edges",
     "make_graph_stream",
     "ground_truth",

@@ -1,0 +1,205 @@
+"""Property-based correctness harness for the ingestion subsystem (``slow``).
+
+Randomized schemas and streams (fixed seeds, so failures reproduce) assert
+the two properties the sharded/bulk refactor must preserve:
+
+(a) **Sharded ≡ unsharded batched, distribution-wise.**  For random acyclic
+    queries and streams, ``ShardedIngestor.merged_sample`` must draw from
+    exactly the result set the unsharded batched sampler draws from (checked
+    set-exactly with an over-sized reservoir, where any uniform sampler must
+    return the whole set) and must be uniform over it (checked with the
+    chi-square helpers, the same way the unsharded path is checked).
+
+(b) **Cyclic bulk ≡ per-tuple, bit-identically at ``chunk_size=1``.**  With
+    the same seed, driving ``CyclicReservoirJoin`` through single-tuple
+    ``insert_batch`` calls must consume the same randomness and produce the
+    same reservoir (in order) and the same statistics as per-tuple
+    ``insert`` — the bulk path degenerates exactly, not just
+    distributionally.
+
+Trial counts honour ``REPRO_STAT_TRIALS`` (see ``tests/conftest.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+import pytest
+
+from repro import (
+    BatchIngestor,
+    CyclicReservoirJoin,
+    JoinQuery,
+    ReservoirJoin,
+    ShardedIngestor,
+    StreamTuple,
+)
+from repro.relational import Database, count_results, join_size
+from repro.stats.uniformity import result_key, uniformity_p_value
+
+from tests.conftest import ground_truth, ground_truth_keys, stat_trials
+
+P_THRESHOLD = 0.002
+TRIALS = stat_trials(300)
+
+
+# ---------------------------------------------------------------------- #
+# Random case generators (all deterministic in the seed)
+# ---------------------------------------------------------------------- #
+def random_stream(query: JoinQuery, rng: random.Random, n: int, domain: int) -> List[StreamTuple]:
+    names = query.relation_names
+    stream = []
+    for _ in range(n):
+        relation = rng.choice(names)
+        arity = query.relation(relation).arity
+        stream.append(
+            StreamTuple(relation, tuple(rng.randrange(domain) for _ in range(arity)))
+        )
+    return stream
+
+
+def random_acyclic_case(rng: random.Random) -> Tuple[JoinQuery, List[StreamTuple]]:
+    """A random chain or star query with a random stream."""
+    if rng.random() < 0.5:
+        length = rng.choice([2, 3, 4])
+        spec = {f"R{i}": [f"x{i}", f"x{i + 1}"] for i in range(length)}
+        query = JoinQuery.from_spec(f"chain-{length}", spec)
+    else:
+        arms = rng.choice([3, 4])
+        spec = {f"R{i}": ["x0", f"x{i}"] for i in range(1, arms + 1)}
+        query = JoinQuery.from_spec(f"star-{arms}", spec)
+    return query, random_stream(query, rng, n=rng.choice([80, 120]), domain=rng.choice([4, 6]))
+
+
+def random_cyclic_case(rng: random.Random) -> Tuple[JoinQuery, List[StreamTuple]]:
+    """A random triangle or cycle-4 query with a random stream."""
+    if rng.random() < 0.5:
+        query = JoinQuery.from_spec(
+            "triangle", {"R1": ["x1", "x2"], "R2": ["x2", "x3"], "R3": ["x1", "x3"]}
+        )
+    else:
+        query = JoinQuery.from_spec(
+            "cycle-4",
+            {
+                "R1": ["x1", "x2"],
+                "R2": ["x2", "x3"],
+                "R3": ["x3", "x4"],
+                "R4": ["x1", "x4"],
+            },
+        )
+    return query, random_stream(query, rng, n=90, domain=rng.choice([3, 4]))
+
+
+# ---------------------------------------------------------------------- #
+# (a) Sharded merged sample ≡ unsharded batched
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("case_seed", [3, 19, 71, 113])
+def test_sharded_draws_exactly_the_unsharded_result_set(case_seed):
+    """Over-sized reservoirs: merged sample == batched sample == ground truth."""
+    rng = random.Random(case_seed)
+    query, stream = random_acyclic_case(rng)
+    truth = ground_truth_keys(query, stream)
+    if len(truth) < 2:
+        pytest.skip("degenerate random instance (join too small)")
+    k_all = len(truth) + 5
+    num_shards = rng.choice([2, 3, 5])
+
+    batched = ReservoirJoin(query, k_all, rng=random.Random(1))
+    BatchIngestor(batched, chunk_size=13).ingest(stream)
+    batched_set = {result_key(r) for r in batched.sample}
+    assert batched_set == truth
+
+    sharded = ShardedIngestor(
+        query, k=k_all, num_shards=num_shards, chunk_size=13, rng=random.Random(2)
+    )
+    sharded.ingest(stream)
+    assert {result_key(r) for r in sharded.merged_sample()} == batched_set
+    # The exact shard counts must tile the true result set.
+    assert sharded.total_results() == len(truth)
+
+
+@pytest.mark.parametrize("case_seed", [7, 29])
+def test_sharded_small_reservoir_uniform_like_unsharded(case_seed):
+    """Small reservoirs: sharded and unsharded both pass the same chi-square."""
+    rng = random.Random(case_seed)
+    query, stream = random_acyclic_case(rng)
+    universe = ground_truth(query, stream)
+    if len(universe) < 8:
+        pytest.skip("degenerate random instance (join too small)")
+    k = max(3, len(universe) // 8)
+    num_shards = rng.choice([2, 4])
+
+    def run_sharded(seed):
+        ingestor = ShardedIngestor(
+            query, k=k, num_shards=num_shards, chunk_size=11, rng=random.Random(seed)
+        )
+        ingestor.ingest(stream)
+        sample = ingestor.merged_sample()
+        assert len(sample) == min(k, len(universe))
+        return sample
+
+    def run_batched(seed):
+        sampler = ReservoirJoin(query, k, rng=random.Random(seed))
+        BatchIngestor(sampler, chunk_size=11).ingest(stream)
+        return sampler.sample
+
+    p_sharded = uniformity_p_value(run_sharded, universe, TRIALS, k)
+    p_batched = uniformity_p_value(run_batched, universe, TRIALS, k)
+    assert p_sharded > P_THRESHOLD, f"sharded rejected: p={p_sharded:.5f}"
+    assert p_batched > P_THRESHOLD, f"unsharded rejected: p={p_batched:.5f}"
+
+
+@pytest.mark.parametrize("case_seed", [5, 37, 59])
+def test_count_results_matches_enumeration_on_random_cases(case_seed):
+    """The exact-count DP that weights the merge agrees with enumeration."""
+    rng = random.Random(case_seed)
+    query, stream = random_acyclic_case(rng)
+    database = Database(query)
+    for item in stream:
+        database.insert(item.relation, item.row)
+    assert count_results(query, database) == join_size(query, database)
+
+
+# ---------------------------------------------------------------------- #
+# (b) Cyclic bulk path ≡ per-tuple at chunk_size=1, bit for bit
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("case_seed", [2, 13, 43, 89])
+def test_cyclic_bulk_path_bit_identical_at_chunk_size_one(case_seed):
+    rng = random.Random(case_seed)
+    query, stream = random_cyclic_case(rng)
+    k = rng.choice([3, 7, 50])
+    pertuple = CyclicReservoirJoin(query, k, rng=random.Random(case_seed + 1))
+    bulk = CyclicReservoirJoin(query, k, rng=random.Random(case_seed + 1))
+    for item in stream:
+        pertuple.insert(item.relation, item.row)
+        bulk.insert_batch([item])
+        # Same randomness consumed, same reservoir, after *every* tuple.
+        assert bulk.reservoir._sample == pertuple.reservoir._sample
+    assert bulk.statistics() == pertuple.statistics()
+
+
+@pytest.mark.parametrize("case_seed", [11, 53])
+@pytest.mark.parametrize("chunk_size", [4, 25])
+def test_cyclic_bulk_path_uniform_on_random_cases(case_seed, chunk_size):
+    """Bulk chunks: distribution-identical to per-tuple (chi-square + exact set)."""
+    rng = random.Random(case_seed)
+    query, stream = random_cyclic_case(rng)
+    universe = ground_truth(query, stream)
+    if len(universe) < 4:
+        pytest.skip("degenerate random instance (join too small)")
+
+    # Exact result set with an over-sized reservoir.
+    big = CyclicReservoirJoin(query, len(universe) + 5, rng=random.Random(1))
+    BatchIngestor(big, chunk_size=chunk_size).ingest(stream)
+    assert {result_key(r) for r in big.sample} == {result_key(r) for r in universe}
+
+    k = min(6, max(3, len(universe) // 4))
+
+    def run_one(seed):
+        sampler = CyclicReservoirJoin(query, k, rng=random.Random(seed))
+        BatchIngestor(sampler, chunk_size=chunk_size).ingest(stream)
+        return sampler.sample
+
+    p_value = uniformity_p_value(run_one, universe, TRIALS, k)
+    assert p_value > P_THRESHOLD, f"cyclic bulk rejected: p={p_value:.5f}"

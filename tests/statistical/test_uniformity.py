@@ -26,6 +26,7 @@ from repro import (
     PredicateReservoir,
     ReservoirJoin,
     ReservoirSampler,
+    ShardedIngestor,
     SkipReservoirSampler,
 )
 from repro.core.skippable import ListBatch, ListStream
@@ -35,10 +36,10 @@ from repro.stats.uniformity import (
     uniformity_p_value,
 )
 
-from tests.conftest import ground_truth, make_edges, make_graph_stream
+from tests.conftest import ground_truth, make_edges, make_graph_stream, stat_trials
 
 P_THRESHOLD = 0.002
-TRIALS = 300
+TRIALS = stat_trials(300)
 
 
 def item_universe(n):
@@ -205,6 +206,62 @@ def test_reservoir_join_batched_uniform_at_chunk_boundaries(
 
     p_value = uniformity_p_value(run_one, universe, TRIALS, k)
     assert p_value > P_THRESHOLD, f"batched uniformity rejected: p={p_value:.5f}"
+
+
+@pytest.mark.parametrize("fraction", [0.5, 1.0])
+@pytest.mark.parametrize("num_shards", [2, 4])
+def test_sharded_merged_sample_uniform_at_prefixes(line3_query, fraction, num_shards):
+    """``ShardedIngestor.merged_sample`` is uniform over the global join.
+
+    The acceptance property of the sharded subsystem: at several stream
+    prefixes (cut at chunk boundaries, where the guarantee is made), the
+    exact-count-weighted merge of the shard-local reservoirs must be
+    indistinguishable from a uniform sample of the full result set —
+    chain-3 has a broadcast relation, so this exercises both the
+    partitioned and the replicated routing.
+    """
+    edges = make_edges(7, 14, seed=109)
+    stream = make_graph_stream(line3_query, edges, seed=110)
+    chunk_size = 5
+    cut = max(chunk_size, int(len(stream) * fraction) // chunk_size * chunk_size)
+    prefix = stream[:cut]
+    universe = ground_truth(line3_query, prefix)
+    if len(universe) < 4:
+        pytest.skip("join too small at this prefix")
+    k = 7
+
+    def run_one(seed):
+        ingestor = ShardedIngestor(
+            line3_query,
+            k=k,
+            num_shards=num_shards,
+            chunk_size=chunk_size,
+            rng=random.Random(seed),
+        )
+        ingestor.ingest(prefix)
+        return ingestor.merged_sample()
+
+    p_value = uniformity_p_value(run_one, universe, TRIALS, k)
+    assert p_value > P_THRESHOLD, f"sharded uniformity rejected: p={p_value:.5f}"
+
+
+@pytest.mark.parametrize("chunk_size", [4, 16])
+def test_cyclic_bulk_path_uniform_at_chunk_boundaries(triangle_query, chunk_size):
+    """The cyclic bulk ``insert_batch`` path is uniform at chunk boundaries."""
+    edges = make_edges(6, 12, seed=111)
+    stream = make_graph_stream(triangle_query, edges, seed=112)
+    universe = ground_truth(triangle_query, stream)
+    if len(universe) < 4:
+        pytest.skip("join too small for a meaningful test")
+    k = 6
+
+    def run_one(seed):
+        sampler = CyclicReservoirJoin(triangle_query, k, rng=random.Random(seed))
+        BatchIngestor(sampler, chunk_size=chunk_size).ingest(stream)
+        return sampler.sample
+
+    p_value = uniformity_p_value(run_one, universe, TRIALS, k)
+    assert p_value > P_THRESHOLD, f"cyclic bulk uniformity rejected: p={p_value:.5f}"
 
 
 @pytest.mark.parametrize("fraction", [0.6, 1.0])

@@ -56,6 +56,26 @@ class TestChunked:
         with pytest.raises(ValueError):
             list(chunked(range(3), 0))
 
+    def test_generator_input_is_consumed_lazily(self):
+        """A one-shot generator works, and only one chunk is buffered at a time."""
+        pulled = []
+
+        def source():
+            for i in range(7):
+                pulled.append(i)
+                yield i
+
+        chunks = chunked(source(), 3)
+        assert next(chunks) == [0, 1, 2]
+        assert pulled == [0, 1, 2]  # nothing beyond the first chunk yet
+        assert list(chunks) == [[3, 4, 5], [6]]
+
+    def test_size_larger_than_stream_yields_single_chunk(self):
+        assert list(chunked(range(4), 100)) == [[0, 1, 2, 3]]
+
+    def test_size_one_degenerates_to_singletons(self):
+        assert list(chunked("ab", 1)) == [["a"], ["b"]]
+
 
 class TestBatchIngestor:
     def test_invalid_chunk_size(self, line3_query):
@@ -100,6 +120,56 @@ class TestBatchIngestor:
             [("R1", (1, 2)), ("R2", (2, 3)), ("R3", (3, 4))]
         )
         assert sampler.index.size == 3
+
+    def test_generator_stream_through_the_fast_path(self, line3_query):
+        """Ingesting a one-shot generator matches ingesting the listed stream."""
+        stream = line3_stream(line3_query, 50, seed=7)
+        from_list = ReservoirJoin(line3_query, 5, rng=random.Random(1))
+        BatchIngestor(from_list, chunk_size=8).ingest(list(stream))
+        from_generator = ReservoirJoin(line3_query, 5, rng=random.Random(1))
+        BatchIngestor(from_generator, chunk_size=8).ingest(item for item in stream)
+        assert [result_key(r) for r in from_generator.sample] == [
+            result_key(r) for r in from_list.sample
+        ]
+        assert from_generator.statistics() == from_list.statistics()
+
+    def test_generator_stream_through_the_fallback(self, line3_query):
+        class PerTupleOnly:
+            def __init__(self):
+                self.seen = []
+
+            def insert(self, relation, row):
+                self.seen.append((relation, row))
+
+        sampler = PerTupleOnly()
+        stream = line3_stream(line3_query, 10, seed=9)
+        BatchIngestor(sampler, chunk_size=3).ingest(item for item in stream)
+        assert sampler.seen == [(item.relation, item.row) for item in stream]
+
+    def test_chunk_size_larger_than_stream(self, line3_query):
+        stream = line3_stream(line3_query, 5, seed=11)
+        ingestor = BatchIngestor(
+            ReservoirJoin(line3_query, 5, rng=random.Random(2)), chunk_size=1000
+        )
+        ingestor.ingest(stream)
+        assert ingestor.batches_ingested == 1
+        assert ingestor.tuples_ingested == 5
+
+    def test_fallback_accepts_plain_pairs(self):
+        class PerTupleOnly:
+            def __init__(self):
+                self.seen = []
+
+            def insert(self, relation, row):
+                self.seen.append((relation, row))
+
+        sampler = PerTupleOnly()
+        ingestor = BatchIngestor(sampler, chunk_size=2)
+        ingestor.ingest_batch([("R1", [1, 2]), ("R2", (2, 3))])
+        # Rows are normalised to tuples on the way through.
+        assert sampler.seen == [("R1", (1, 2)), ("R2", (2, 3))]
+        assert not ingestor.uses_fast_path
+        assert ingestor.statistics()["fast_path"] is False
 
 
 # ---------------------------------------------------------------------- #

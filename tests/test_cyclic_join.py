@@ -108,3 +108,68 @@ class TestDuplicates:
         sampler.insert("G1", (1, 2))
         sampler.insert("G1", (1, 2))
         assert sampler.duplicates_ignored == 1
+
+
+class TestInsertBatchValidation:
+    """Regression tests: a bad batch must not mutate the sampler at all.
+
+    The original ``insert_batch`` validated relation names up front but let
+    a wrong-arity row raise mid-loop, after earlier rows of the batch had
+    already been absorbed — the partial-mutation bug class the acyclic path
+    already guarded against.
+    """
+
+    def test_bad_arity_mid_batch_leaves_sampler_untouched(self):
+        query = triangle_query()
+        sampler = CyclicReservoirJoin(query, 5, rng=random.Random(0))
+        sampler.insert("G1", (9, 10))
+        before = sampler.statistics()
+        with pytest.raises(ValueError):
+            sampler.insert_batch([("G1", (1, 2)), ("G2", (1, 2, 3))])
+        assert sampler.statistics() == before
+        # The good row of the failed batch was not half-absorbed: inserting
+        # it now must count as new, not as a duplicate.
+        sampler.insert("G1", (1, 2))
+        assert sampler.duplicates_ignored == 0
+
+    def test_unknown_relation_mid_batch_leaves_sampler_untouched(self):
+        query = triangle_query()
+        sampler = CyclicReservoirJoin(query, 5, rng=random.Random(0))
+        before = sampler.statistics()
+        with pytest.raises(KeyError):
+            sampler.insert_batch([("G1", (1, 2)), ("NOPE", (3, 4))])
+        assert sampler.statistics() == before
+        assert sampler.bag_tuples_inserted == 0
+
+    def test_empty_batch_is_noop(self):
+        query = triangle_query()
+        sampler = CyclicReservoirJoin(query, 5, rng=random.Random(0))
+        assert sampler.insert_batch([]) == 0
+        assert sampler.tuples_processed == 0
+
+
+class TestInsertBatchBulkPath:
+    def test_bulk_chunks_match_ground_truth_on_dumbbell(self):
+        query = dumbbell_query()
+        edges = [
+            (1, 2), (2, 3), (1, 3),
+            (4, 5), (5, 6), (4, 6),
+            (3, 4), (2, 5), (1, 6),
+        ]
+        stream = make_graph_stream(query, edges, seed=301)
+        truth = {result_key(r) for r in ground_truth(query, stream)}
+        assert truth
+        sampler = CyclicReservoirJoin(query, 100_000, rng=random.Random(302))
+        for start in range(0, len(stream), 7):
+            sampler.insert_batch(stream[start:start + 7])
+        assert {result_key(r) for r in sampler.sample} == truth
+
+    def test_return_value_counts_new_tuples(self):
+        query = triangle_query()
+        sampler = CyclicReservoirJoin(query, 5, rng=random.Random(0))
+        inserted = sampler.insert_batch(
+            [("G1", (1, 2)), ("G1", (1, 2)), ("G2", (2, 3))]
+        )
+        assert inserted == 2
+        assert sampler.duplicates_ignored == 1
+        assert sampler.insert_batch([("G1", (1, 2))]) == 0

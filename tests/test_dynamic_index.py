@@ -69,6 +69,21 @@ class TestDeltaBatches:
         index.insert("R1", (1, 2))
         assert index.delta_batch_size("R1", (1, 2)) == 0
 
+    def test_bulk_batch_sizes_match_per_row(self, line3_query):
+        index = DynamicJoinIndex(line3_query)
+        rng = random.Random(5)
+        rows_by_relation = {
+            name: [(rng.randrange(4), rng.randrange(4)) for _ in range(12)]
+            for name in line3_query.relation_names
+        }
+        for name, rows in rows_by_relation.items():
+            index.insert_rows(name, rows)
+        for name in line3_query.relation_names:
+            inserted = [tuple(r) for r in rows_by_relation[name]]
+            assert index.delta_batch_sizes(name, inserted) == [
+                index.delta_batch_size(name, row) for row in inserted
+            ]
+
 
 class TestFullQuerySampling:
     def replay(self, query, stream):
