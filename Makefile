@@ -1,0 +1,32 @@
+# Developer entry points. Everything runs from the repo root with src/ on
+# the path; no build step (pure Python).
+
+PYTHONPATH := src
+export PYTHONPATH
+
+.PHONY: test unit docs-check slow slow-smoke bench
+
+# The default invocation: the fast deterministic suite + executable docs.
+test: unit docs-check
+
+unit:
+	python -m pytest -x -q
+
+# Execute every runnable fenced command in README.md / docs/ARCHITECTURE.md
+# (slow fences are statically checked instead — see tools/docs_check.py).
+docs-check:
+	python tools/docs_check.py
+
+# Statistical correctness suites (chi-square uniformity, differential,
+# property harness) at full strength / at the CI smoke profile.
+slow:
+	python -m pytest -m slow -q
+
+slow-smoke:
+	REPRO_STAT_TRIALS=60 python -m pytest -m slow -q
+
+# Ingestion-seam acceptance benchmarks (each emits BENCH_*.json in CWD).
+bench:
+	python benchmarks/bench_batch_ingest.py
+	python benchmarks/bench_shard_ingest.py
+	python benchmarks/bench_rebalance.py

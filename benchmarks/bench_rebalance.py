@@ -1,0 +1,359 @@
+"""Microbenchmark: skew-aware rebalancing + async pipelined transport.
+
+Acceptance benchmark for the rebalancing subsystem on a **Zipf-skewed**
+chain-3 workload: the join attribute ``x2`` is drawn from a Zipf
+distribution (the hottest value covers a large share of R1/R2), so static
+hash partitioning on the default attribute routes most of the stream — and
+most of the join work — to one shard, and the chunk-boundary barrier makes
+every chunk as slow as that shard.
+
+* **Static sharded** — a 4-shard :class:`repro.ShardedIngestor` on the
+  default partition attribute.  Headline figure is the *critical path*
+  (per-chunk partitioning cost + slowest shard, accumulated by the
+  ingestor's own instrumentation): the wall clock of a one-worker-per-shard
+  deployment.  The single-thread serial total is reported unredacted
+  alongside, exactly as in ``bench_shard_ingest.py``.
+* **Rebalancing** — a :class:`repro.RebalancingIngestor` with the same
+  shard count.  The skew monitor flags the hot shard from the O(1) load
+  counters, the planner simulates candidate partitionings over the
+  recent-delivery window, and the ingestor re-partitions onto the uniform
+  ``x3``, replaying the stored relation state.  Its critical path *includes*
+  the replay, planning and state-reassembly costs.  Criterion: ≥ 1.3× the
+  static critical-path throughput.  (``allow_split`` is disabled so both
+  modes use exactly 4 shards — the speedup is pure skew-awareness, not
+  extra workers.)
+* **Async pipelined transport** — the same static ingestor fed from a
+  :class:`repro.relational.stream.ThrottledChunkSource` whose chunk
+  delivery blocks (a stand-in for network transport), synchronously vs
+  through :class:`repro.AsyncIngestor` (bounded queue + worker per shard).
+  Reported: end-to-end wall clocks and the fraction of transport wait the
+  pipeline hid.  Informational — the acceptance gate is the rebalancing
+  speedup.
+
+Emits ``BENCH_rebalance.json`` in the current working directory.
+
+Run with:  python benchmarks/bench_rebalance.py
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import random
+import time
+from bisect import bisect_left
+from typing import Dict, List
+
+from repro.bench.harness import run_ingestor_critical_path, run_sampler_pipelined
+from repro.core.reservoir_join import ReservoirJoin
+from repro.ingest.batch import BatchIngestor
+from repro.ingest.rebalance import RebalancingIngestor, SkewMonitor
+from repro.ingest.shard import ShardedIngestor
+from repro.relational.query import JoinQuery
+from repro.relational.stream import StreamTuple, ThrottledChunkSource
+
+N_TUPLES = 150_000
+SAMPLE_SIZE = 1_000
+CHUNK_SIZE = 8_192
+NUM_SHARDS = 4
+ZIPF_SKEW = 2.0
+X2_DOMAIN = 1_024      # Zipf-skewed join attribute (the hot one)
+X3_DOMAIN = 262_144    # uniform join attribute (the cool one)
+ID_DOMAIN = 1_000_000  # wide non-join attributes keep rows distinct
+#: Stream mix: the middle relation is the fact table (most of the traffic),
+#: the chain ends are dimension-like.  R1 deliberately small — whichever
+#: chain-end attribute partitions, one end relation must broadcast, and a
+#: skew-aware plan should prefer broadcasting the cheap one.
+RELATION_MIX = (("R1", 0.05), ("R2", 0.70), ("R3", 0.25))
+IMBALANCE_THRESHOLD = 1.3
+MIN_TUPLES = 4_096
+#: Repeats per mode; the *minimum* is reported (least-noise estimate).
+REPEATS = 3
+SEED = 2024
+TARGET_SPEEDUP = 1.3
+
+# Async transport scenario: blocking delivery per chunk, on a stream prefix
+# (the overlap effect is per-chunk; a prefix keeps the benchmark quick).
+ASYNC_TUPLES = 60_000
+ASYNC_CHUNK_SIZE = 2_048
+ASYNC_LATENCY_SECONDS = 0.02
+ASYNC_BUFFER_CHUNKS = 8
+
+
+def chain3_query() -> JoinQuery:
+    return JoinQuery.from_spec(
+        "chain-3", {"R1": ["x1", "x2"], "R2": ["x2", "x3"], "R3": ["x3", "x4"]}
+    )
+
+
+class ZipfValues:
+    """Draw values from ``range(n)`` with P(rank) ∝ 1 / (rank + 1)^skew."""
+
+    def __init__(self, n: int, skew: float, rng: random.Random) -> None:
+        self._rng = rng
+        self._cumulative: List[float] = []
+        total = 0.0
+        for rank in range(n):
+            total += 1.0 / (rank + 1) ** skew
+            self._cumulative.append(total)
+        self._total = total
+
+    def draw(self) -> int:
+        return bisect_left(self._cumulative, self._rng.random() * self._total)
+
+
+def make_skewed_stream(n: int, seed: int = SEED) -> List[StreamTuple]:
+    """Chain-3 stream with Zipf-skewed ``x2``, uniform ``x3``.
+
+    Relations arrive in the :data:`RELATION_MIX` proportions, interleaved.
+    """
+    rng = random.Random(seed)
+    zipf = ZipfValues(X2_DOMAIN, ZIPF_SKEW, rng)
+    stream: List[StreamTuple] = []
+    for _ in range(n):
+        pick = rng.random()
+        cumulative = 0.0
+        relation = RELATION_MIX[-1][0]
+        for name, share in RELATION_MIX:
+            cumulative += share
+            if pick < cumulative:
+                relation = name
+                break
+        if relation == "R1":
+            row = (rng.randrange(ID_DOMAIN), zipf.draw())
+        elif relation == "R2":
+            row = (zipf.draw(), rng.randrange(X3_DOMAIN))
+        else:
+            row = (rng.randrange(X3_DOMAIN), rng.randrange(ID_DOMAIN))
+        stream.append(StreamTuple(relation, row))
+    return stream
+
+
+def make_static(query: JoinQuery) -> ShardedIngestor:
+    return ShardedIngestor(
+        query,
+        k=SAMPLE_SIZE,
+        num_shards=NUM_SHARDS,
+        chunk_size=CHUNK_SIZE,
+        rng=random.Random(1),
+    )
+
+
+def make_rebalancing(query: JoinQuery) -> RebalancingIngestor:
+    return RebalancingIngestor(
+        query,
+        k=SAMPLE_SIZE,
+        num_shards=NUM_SHARDS,
+        chunk_size=CHUNK_SIZE,
+        monitor=SkewMonitor(threshold=IMBALANCE_THRESHOLD, min_tuples=MIN_TUPLES),
+        allow_split=False,  # same worker count as static: pure skew-awareness
+        rng=random.Random(1),
+    )
+
+
+def measure_critical(name: str, factory, stream: List[StreamTuple]) -> Dict:
+    """Best-of-REPEATS critical-path measurement with GC paused."""
+    best = None
+    for _ in range(REPEATS):
+        gc.collect()
+        gc.disable()
+        try:
+            result = run_ingestor_critical_path(name, factory, stream)
+        finally:
+            gc.enable()
+        critical = result.statistics["critical_path_seconds"]
+        if best is None or critical < best.statistics["critical_path_seconds"]:
+            best = result
+    return best
+
+
+def run_unsharded(query: JoinQuery, stream: List[StreamTuple]) -> float:
+    """Context row: plain batched ingestion (one worker, no sharding)."""
+    def run() -> None:
+        sampler = ReservoirJoin(query, SAMPLE_SIZE, rng=random.Random(1))
+        BatchIngestor(sampler, chunk_size=CHUNK_SIZE).ingest(stream)
+
+    best = float("inf")
+    for _ in range(REPEATS):
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            run()
+            best = min(best, time.perf_counter() - start)
+        finally:
+            gc.enable()
+    return best
+
+
+def bench_async(query: JoinQuery, stream: List[StreamTuple]) -> Dict:
+    """Sync vs pipelined ingestion over a blocking chunk source."""
+    stream = stream[:ASYNC_TUPLES]
+
+    def sync_run() -> float:
+        ingestor = make_static(query)
+        source = ThrottledChunkSource(
+            stream, ASYNC_CHUNK_SIZE, latency_seconds=ASYNC_LATENCY_SECONDS
+        )
+        start = time.perf_counter()
+        for chunk in source:
+            ingestor.ingest_batch(chunk)
+        return time.perf_counter() - start
+
+    sync_seconds = min(sync_run() for _ in range(2))
+
+    best = None
+    for _ in range(2):
+        source = ThrottledChunkSource(
+            stream, ASYNC_CHUNK_SIZE, latency_seconds=ASYNC_LATENCY_SECONDS
+        )
+        result = run_sampler_pipelined(
+            "async", lambda: make_static(query), source,
+            buffer_chunks=ASYNC_BUFFER_CHUNKS,
+        )
+        if best is None or result.elapsed_seconds < best.elapsed_seconds:
+            best = result
+    async_seconds = best.elapsed_seconds
+    n_chunks = -(-len(stream) // ASYNC_CHUNK_SIZE)
+    transport_seconds = n_chunks * ASYNC_LATENCY_SECONDS
+    # Clamped into [0, transport]: noise can make the async run beat sync by
+    # more than the whole transport wait, which would read as >100% hidden.
+    hidden = min(transport_seconds, max(0.0, sync_seconds - async_seconds))
+    return {
+        "chunk_size": ASYNC_CHUNK_SIZE,
+        "latency_seconds_per_chunk": ASYNC_LATENCY_SECONDS,
+        "chunks": n_chunks,
+        "transport_seconds": round(transport_seconds, 4),
+        "sync_seconds": round(sync_seconds, 4),
+        "async_seconds": round(async_seconds, 4),
+        "speedup": round(sync_seconds / async_seconds, 2),
+        "transport_hidden_fraction": round(hidden / transport_seconds, 2),
+        "producer_stall_seconds": best.statistics["async_producer_stall_seconds"],
+        "max_queue_depth": best.statistics["async_max_queue_depth"],
+    }
+
+
+def bench() -> Dict:
+    query = chain3_query()
+    stream = make_skewed_stream(N_TUPLES)
+
+    # Sanity outside the timed regions: the rebalancer must actually fire on
+    # this stream, agree with the static ingestor on the exact global result
+    # count, and deliver a full-size merged sample.
+    probe = make_rebalancing(query)
+    probe.ingest(stream)
+    assert probe.rebalances, "the Zipf-skewed stream must trigger a rebalance"
+    static_probe = make_static(query)
+    static_probe.ingest(stream)
+    assert probe.total_results() == static_probe.total_results()
+    assert len(probe.merged_sample()) == min(SAMPLE_SIZE, probe.total_results())
+    events = probe.statistics()["rebalance_events"]
+
+    unsharded_seconds = run_unsharded(query, stream)
+    static = measure_critical("static_sharded", lambda: make_static(query), stream)
+    rebalancing = measure_critical(
+        "rebalancing", lambda: make_rebalancing(query), stream
+    )
+
+    static_critical = static.statistics["critical_path_seconds"]
+    rebalancing_critical = rebalancing.statistics["critical_path_seconds"]
+    speedup = static_critical / rebalancing_critical
+
+    modes = [
+        {
+            "mode": "batched_unsharded_serial",
+            "seconds": round(unsharded_seconds, 4),
+            "tuples_per_second": round(N_TUPLES / unsharded_seconds),
+        },
+        {
+            "mode": "static_sharded_critical_path",
+            "seconds": round(static_critical, 4),
+            "tuples_per_second": round(N_TUPLES / static_critical),
+            "speedup": 1.0,
+            "serial_seconds": static.statistics["serial_seconds"],
+            "shard_loads": static.statistics["shard_tuples"],
+            "load_imbalance": static.statistics["load_imbalance"],
+            "partition_attr": static.statistics["partition_attr"],
+        },
+        {
+            "mode": "rebalancing_critical_path",
+            "seconds": round(rebalancing_critical, 4),
+            "tuples_per_second": round(N_TUPLES / rebalancing_critical),
+            "speedup": round(speedup, 2),
+            "serial_seconds": rebalancing.statistics["serial_seconds"],
+            "shard_loads": rebalancing.statistics["shard_tuples"],
+            "load_imbalance": rebalancing.statistics["load_imbalance"],
+            "partition_attr": rebalancing.statistics["partition_attr"],
+            "rebalance_seconds": rebalancing.statistics["rebalance_seconds"],
+            "rebalances": rebalancing.statistics["rebalances"],
+        },
+    ]
+
+    return {
+        "benchmark": "rebalance",
+        "query": "chain-3",
+        "n_tuples": N_TUPLES,
+        "sample_size": SAMPLE_SIZE,
+        "chunk_size": CHUNK_SIZE,
+        "num_shards": NUM_SHARDS,
+        "zipf_skew": ZIPF_SKEW,
+        "x2_domain": X2_DOMAIN,
+        "x3_domain": X3_DOMAIN,
+        "imbalance_threshold": IMBALANCE_THRESHOLD,
+        "repeats": REPEATS,
+        "modes": modes,
+        "rebalance_events": events,
+        "speedup": round(speedup, 2),
+        "target_speedup": TARGET_SPEEDUP,
+        "meets_target": speedup >= TARGET_SPEEDUP,
+        "methodology": (
+            "x2 is Zipf-skewed (skew=2.0: the hottest value covers ~60% of "
+            "R1/R2), so static hash partitioning on the default attribute "
+            "overloads one shard. Shards share no mutable state, so the "
+            "headline figure for both modes is the critical path the "
+            "ingestors accumulate per chunk (partitioning cost + slowest "
+            "shard) — the wall clock of a one-worker-per-shard deployment. "
+            "The rebalancing critical path includes monitoring, planning, "
+            "state reassembly and the full replay. allow_split=False keeps "
+            f"both modes at exactly {NUM_SHARDS} shards. Single-thread "
+            "serial totals are reported unredacted alongside."
+        ),
+        "async_transport": bench_async(query, stream),
+    }
+
+
+def main() -> None:
+    report = bench()
+    with open("BENCH_rebalance.json", "w") as handle:
+        json.dump(report, handle, indent=2)
+    print(
+        f"rebalancing benchmark — chain-3, N={report['n_tuples']}, "
+        f"k={report['sample_size']}, shards={report['num_shards']}, "
+        f"zipf skew={report['zipf_skew']} on x2"
+    )
+    for row in report["modes"]:
+        speedup = f"  {row['speedup']:.2f}x" if "speedup" in row else ""
+        print(
+            f"  {row['mode']:>30}: {row['seconds']:7.3f}s  "
+            f"{row['tuples_per_second']:>9,} tuples/s{speedup}"
+        )
+    for event in report["rebalance_events"]:
+        print(f"  rebalance @ {event['at_tuples']} tuples: {event['partitioning']}"
+              f"  (observed imbalance {event['observed_imbalance']})")
+    print(
+        f"critical-path speedup: {report['speedup']:.2f}x "
+        f"(target ≥ {report['target_speedup']}x, "
+        f"{'met' if report['meets_target'] else 'NOT met'})"
+    )
+    a = report["async_transport"]
+    print(
+        f"async transport: sync {a['sync_seconds']:.3f}s vs pipelined "
+        f"{a['async_seconds']:.3f}s -> {a['speedup']:.2f}x "
+        f"({a['transport_hidden_fraction']:.0%} of {a['transport_seconds']:.2f}s "
+        "blocking transport hidden)"
+    )
+    print("wrote BENCH_rebalance.json")
+
+
+if __name__ == "__main__":
+    main()

@@ -43,11 +43,26 @@ Every sampler supports three interchangeable ways of consuming a stream:
   single-threaded workloads plain batched ingestion does strictly less work
   (broadcast relations are replicated per shard).
 
+Two orthogonal add-ons compose with the sharded mode:
+
+* **Skew-aware rebalancing** — ``RebalancingIngestor`` wraps a sharded
+  ingestor with a ``SkewMonitor`` that watches the O(1) per-shard load
+  counters; when one shard runs hot it re-partitions on a cooler attribute
+  (or splits the shard set), replaying the stored relation state into fresh
+  replicas, and the merged sample stays exactly uniform through the switch.
+  Choose it when the value distribution is skewed or unknown in advance.
+* **Async pipelined transport** — ``AsyncIngestor`` overlaps blocking chunk
+  delivery with sampler CPU behind bounded per-shard queues (backpressure
+  included).  Choose it when the stream source itself blocks (network,
+  pagination) and would otherwise serialise with ingestion.
+
 All modes draw from exactly the same join-result distribution;
 ``chunk_size=1`` makes the batched mode degenerate to per-tuple semantics.
 
-See ``examples/quickstart.py`` for a five-minute tour and
-``examples/streaming_warehouse.py`` for the batched API in context.
+See ``README.md`` for the decision table, ``docs/ARCHITECTURE.md`` for the
+uniformity arguments, ``examples/quickstart.py`` for a five-minute tour and
+``examples/streaming_warehouse.py`` for the batched/sharded/rebalancing APIs
+in context.
 """
 
 from .relational.query import JoinQuery
@@ -58,6 +73,8 @@ from .core.predicate_reservoir import PredicateReservoir
 from .core.batch_reservoir import BatchedPredicateReservoir
 from .core.reservoir_join import ReservoirJoin
 from .ingest.batch import BatchIngestor
+from .ingest.pipeline import AsyncIngestor
+from .ingest.rebalance import RebalancingIngestor, SkewMonitor
 from .ingest.shard import ShardedIngestor
 from .index.dynamic_index import DynamicJoinIndex
 from .index.two_table import TwoTableIndex
@@ -81,6 +98,9 @@ __all__ = [
     "ReservoirJoin",
     "BatchIngestor",
     "ShardedIngestor",
+    "RebalancingIngestor",
+    "SkewMonitor",
+    "AsyncIngestor",
     "DynamicJoinIndex",
     "TwoTableIndex",
     "ForeignKeyCombiner",

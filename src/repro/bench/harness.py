@@ -125,6 +125,56 @@ def run_sampler_sharded(name: str, factory, stream: Sequence[StreamTuple]) -> Ru
     return RunResult(name, serial_seconds, len(stream), statistics)
 
 
+def run_ingestor_critical_path(
+    name: str, factory, stream: Sequence[StreamTuple]
+) -> RunResult:
+    """Measure any instrumented sharded-style ingestor in one serial pass.
+
+    ``factory()`` must build an ingestor whose ``statistics()`` report
+    ``critical_path_seconds`` — :class:`~repro.ingest.shard.ShardedIngestor`
+    and :class:`~repro.ingest.rebalance.RebalancingIngestor` both accumulate,
+    per chunk, the partitioning cost plus the *slowest* shard's sub-chunk
+    time (shards share no state, so that sum is the wall clock of a
+    one-worker-per-shard deployment).  Unlike :func:`run_sampler_sharded`'s
+    replay methodology this also captures mid-stream repartitioning, whose
+    replay and planning costs land in the same accumulator.
+
+    ``elapsed_seconds`` is the single-thread serial wall clock, reported
+    unredacted alongside the critical path in the statistics.
+    """
+    ingestor = factory()
+    start = time.perf_counter()
+    ingestor.ingest(stream)
+    serial_seconds = time.perf_counter() - start
+    statistics = dict(ingestor.statistics())
+    statistics["serial_seconds"] = round(serial_seconds, 4)
+    return RunResult(name, serial_seconds, len(stream), statistics)
+
+
+def run_sampler_pipelined(
+    name: str, target_factory, chunks: Iterable, buffer_chunks: int = 8
+) -> RunResult:
+    """End-to-end wall clock of async pipelined ingestion over a chunk source.
+
+    ``target_factory()`` builds the downstream ingestion target;  ``chunks``
+    is an iterable of ready-made chunks, typically a
+    :class:`~repro.relational.stream.ThrottledChunkSource` whose blocking
+    delivery is what the pipeline overlaps with sampler CPU.  The timed
+    region covers submission, the transport's blocking waits, and the final
+    drain — the honest end-to-end figure a consumer would see.
+    """
+    from ..ingest.pipeline import AsyncIngestor
+
+    ingestor = AsyncIngestor(target_factory(), buffer_chunks=buffer_chunks)
+    start = time.perf_counter()
+    with ingestor:
+        for chunk in chunks:
+            ingestor.submit(chunk)
+        ingestor.drain()
+    elapsed = time.perf_counter() - start
+    return RunResult(name, elapsed, ingestor.tuples_submitted, ingestor.statistics())
+
+
 def per_chunk_times(
     sampler,
     stream: Sequence[StreamTuple],

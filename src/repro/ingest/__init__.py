@@ -18,22 +18,40 @@ to exact per-tuple semantics.
 This package is also the architectural seam scale-out work plugs into:
 anything that can hand chunks of
 :class:`~repro.relational.stream.StreamTuple` to a :class:`BatchIngestor`
-participates in the fast path.  :class:`ShardedIngestor` is the first such
-extension: it hash-partitions chunks across independent per-shard sampler
-replicas (broadcasting the relations that lack the partition attribute) and
-merges the shard-local reservoirs into one exactly-uniform sample via
-weighted subsampling (see :mod:`repro.ingest.shard` for the merge rule and
-its uniformity argument).  Async transport and multi-backend fan-out remain
-open follow-ups on the same seam.
+participates in the fast path.  Three extensions build on it:
+
+* :class:`ShardedIngestor` hash-partitions chunks across independent
+  per-shard sampler replicas (broadcasting the relations that lack the
+  partition attribute) and merges the shard-local reservoirs into one
+  exactly-uniform sample via weighted subsampling (see
+  :mod:`repro.ingest.shard` for the merge rule and its uniformity argument).
+* :class:`RebalancingIngestor` + :class:`SkewMonitor` watch the per-shard
+  load counters for hot partitions and re-partition on a cooler attribute —
+  or split the shard set — by replaying the shard-local relation state into
+  fresh replicas (see :mod:`repro.ingest.rebalance` for why the replay
+  preserves exact uniformity).
+* :class:`AsyncIngestor` pipelines transport against sampler CPU: a
+  producer thread feeds bounded per-shard queues while worker threads
+  ingest, so blocking chunk delivery overlaps reservoir maintenance (see
+  :mod:`repro.ingest.pipeline`).
+
+Multi-backend fan-out remains an open follow-up on the same seam.
 """
 
 from .batch import BatchIngestor, chunked
+from .pipeline import AsyncIngestor
+from .rebalance import RebalancingIngestor, SkewMonitor, plan_partition, simulate_partition
 from .shard import ShardedIngestor, partition_attribute, stable_shard_hash
 
 __all__ = [
     "BatchIngestor",
     "chunked",
     "ShardedIngestor",
+    "RebalancingIngestor",
+    "SkewMonitor",
+    "AsyncIngestor",
     "partition_attribute",
+    "plan_partition",
+    "simulate_partition",
     "stable_shard_hash",
 ]

@@ -9,28 +9,18 @@ harness code can run both modes.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Sequence
+from typing import Iterable, Sequence
 
-from ..relational.stream import StreamTuple, as_relation_rows
+from ..relational.stream import StreamTuple, as_relation_rows, chunk_stream
 
 #: Default number of stream tuples per ingested chunk.  Large enough to
 #: amortise per-batch dispatch, small enough that samples stay fresh and a
 #: chunk of join deltas fits comfortably in memory.
 DEFAULT_CHUNK_SIZE = 1024
 
-
-def chunked(stream: Iterable, size: int) -> Iterator[List]:
-    """Yield consecutive chunks of at most ``size`` items from ``stream``."""
-    if size <= 0:
-        raise ValueError("chunk size must be positive")
-    chunk: List = []
-    for item in stream:
-        chunk.append(item)
-        if len(chunk) >= size:
-            yield chunk
-            chunk = []
-    if chunk:
-        yield chunk
+#: Alias of :func:`repro.relational.stream.chunk_stream`, the canonical
+#: chunker shared by every ingestion mode (kept under its historical name).
+chunked = chunk_stream
 
 
 class BatchIngestor:

@@ -46,6 +46,7 @@ import hashlib
 import multiprocessing
 import os
 import random
+import time
 from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -232,6 +233,25 @@ class ShardedIngestor:
         self.tuples_ingested = 0
         self.batches_ingested = 0
         self.broadcast_deliveries = 0
+        # Per-relation stream tuples routed so far (before broadcast
+        # replication) — O(1) observability, surfaced via statistics();
+        # dedup inside the shard samplers makes this mix unrecoverable from
+        # stored state.
+        self.relation_deliveries: Dict[str, int] = {
+            name: 0 for name in query.relation_names
+        }
+        # Per-chunk timing: shards share no state, so the wall-clock of a
+        # one-worker-per-shard deployment is, per chunk, the partitioning
+        # cost plus the *slowest* shard's sub-chunk — accumulated here so
+        # rebalancing benchmarks and monitors read it straight off
+        # :meth:`statistics` instead of re-deriving it with a replay.
+        self.partition_seconds = 0.0
+        self.critical_path_seconds = 0.0
+        self.shard_busy_seconds = [0.0] * num_shards
+        # Set by drivers that bypass the per-chunk barrier (the async
+        # transport): the critical-path accumulator is then meaningless and
+        # statistics() reports it as None instead of a misleading figure.
+        self.timing_incomplete = False
         self._counts: Optional[List[int]] = None
         self._frozen: Optional[List[_ShardState]] = None
 
@@ -263,13 +283,33 @@ class ShardedIngestor:
         The whole batch is validated first (unknown relation → ``KeyError``,
         wrong arity → ``ValueError``) so a failed call leaves every shard
         untouched.  Broadcast tuples appear in every shard's sub-batch.
+        Side-effect-free: inspecting routing never advances any counter —
+        the delivery points (:meth:`ingest_batch`, :meth:`ingest_parallel`,
+        the async transport driver) use :meth:`_route` instead.
         """
-        pairs = validated_items(items, self.query)
+        return self._split(validated_items(items, self.query), count=False)
+
+    def _route(self, items: Iterable) -> List[List[Tuple[str, Tuple]]]:
+        """:meth:`partition` plus the ``relation_deliveries`` accounting.
+
+        The internal delivery point: tuples routed through here are being
+        *delivered* to shards, so the per-relation observability counters
+        advance exactly once per stream tuple.
+        """
+        return self._split(validated_items(items, self.query), count=True)
+
+    def _split(
+        self, pairs: List[Tuple[str, Tuple]], count: bool
+    ) -> List[List[Tuple[str, Tuple]]]:
         parts: List[List[Tuple[str, Tuple]]] = [[] for _ in range(self.num_shards)]
         getters = self._value_getters
+        deliveries = self.relation_deliveries
         num_shards = self.num_shards
         for pair in pairs:
-            getter = getters.get(pair[0])
+            relation = pair[0]
+            if count:
+                deliveries[relation] += 1
+            getter = getters.get(relation)
             if getter is None:
                 for part in parts:
                     part.append(pair)
@@ -296,15 +336,36 @@ class ShardedIngestor:
         items = list(items)
         if not items:
             return 0
-        parts = self.partition(items)
-        for ingestor, part in zip(self.ingestors, parts):
+        start = time.perf_counter()
+        parts = self._route(items)
+        partition_seconds = time.perf_counter() - start
+        slowest = 0.0
+        for shard, (ingestor, part) in enumerate(zip(self.ingestors, parts)):
             if part:
+                start = time.perf_counter()
                 ingestor.ingest_batch(part)
-        self.tuples_ingested += len(items)
-        self.batches_ingested += 1
-        self.broadcast_deliveries += sum(map(len, parts)) - len(items)
-        self._counts = None
+                elapsed = time.perf_counter() - start
+                self.shard_busy_seconds[shard] += elapsed
+                if elapsed > slowest:
+                    slowest = elapsed
+        self.partition_seconds += partition_seconds
+        self.critical_path_seconds += partition_seconds + slowest
+        self.note_chunk(len(items), sum(map(len, parts)))
         return len(items)
+
+    def note_chunk(self, tuples: int, deliveries: int) -> None:
+        """Record one ingested chunk's counters and invalidate count caches.
+
+        The tail half of :meth:`ingest_batch`, exposed so transport drivers
+        that route sub-chunks to the per-shard :class:`BatchIngestor` objects
+        themselves (e.g. :class:`~repro.ingest.pipeline.AsyncIngestor`'s
+        per-shard workers) keep this ingestor's global counters and the
+        cached exact counts consistent.
+        """
+        self.tuples_ingested += tuples
+        self.batches_ingested += 1
+        self.broadcast_deliveries += deliveries - tuples
+        self._counts = None
 
     def ingest(self, stream: Iterable[StreamTuple]) -> "ShardedIngestor":
         """Cut ``stream`` into chunks and ingest them all; returns ``self``."""
@@ -335,7 +396,9 @@ class ShardedIngestor:
         if self.tuples_ingested or self._frozen is not None:
             raise RuntimeError("ingest_parallel must be the first ingestion")
         items = list(stream)
-        parts = self.partition(items)
+        start = time.perf_counter()
+        parts = self._route(items)
+        self.partition_seconds += time.perf_counter() - start
         spec = {schema.name: list(schema.attrs) for schema in self.query.relations}
         keys = {constraint.relation: list(constraint.attrs) for constraint in self.query.keys}
         payloads = [
@@ -386,6 +449,75 @@ class ShardedIngestor:
     def total_results(self) -> int:
         """Exact ``|Q(R)|`` of the global join (sum of disjoint shard counts)."""
         return sum(self.shard_counts())
+
+    # ------------------------------------------------------------------ #
+    # Rebalancing hooks
+    # ------------------------------------------------------------------ #
+    def shard_loads(self) -> List[int]:
+        """Stream tuples delivered per shard so far (O(1) observability)."""
+        if self._frozen is not None:
+            return [
+                int(state.statistics.get("tuples_processed", 0))
+                for state in self._frozen
+            ]
+        return [ingestor.tuples_ingested for ingestor in self.ingestors]
+
+    def load_imbalance(self) -> float:
+        """Hottest shard's load over the mean load (1.0 = perfectly even).
+
+        The O(1) skew signal :class:`~repro.ingest.rebalance.SkewMonitor`
+        polls at chunk boundaries; loads count delivered stream tuples
+        (broadcast replicas included), which is what the per-shard workers
+        actually pay for.
+        """
+        loads = self.shard_loads()
+        total = sum(loads)
+        if total == 0:
+            return 1.0
+        return max(loads) * self.num_shards / total
+
+    def stored_rows(self) -> Dict[str, List[tuple]]:
+        """The deduplicated *global* relation state, reassembled from shards.
+
+        For a partitioned relation every stored row lives in exactly one
+        shard, so concatenating the shard-local rows (in shard order)
+        re-creates the global set; broadcast relations are replicated
+        identically everywhere, so shard 0's copy is the global set.  This is
+        the replay source for rebalancing: re-ingesting exactly these rows
+        into fresh replicas reproduces the same join state under any new
+        partitioning (duplicates never reach a reservoir, so the
+        deduplicated state is distribution-equivalent to the raw stream).
+
+        Requires replicas exposing ``index.database`` (the default
+        :class:`~repro.core.reservoir_join.ReservoirJoin` does); unavailable
+        after :meth:`ingest_parallel`, which discards the shard samplers.
+        """
+        if self._frozen is not None:
+            raise RuntimeError(
+                "shard-local relation state is discarded by ingest_parallel(); "
+                "rebalancing requires serial or async ingestion"
+            )
+        rows: Dict[str, List[tuple]] = {}
+        broadcast = set(self.broadcast_relations)
+        for name in self.query.relation_names:
+            if name in broadcast:
+                rows[name] = list(self._shard_relation_rows(0, name))
+            else:
+                merged: List[tuple] = []
+                for shard in range(self.num_shards):
+                    merged.extend(self._shard_relation_rows(shard, name))
+                rows[name] = merged
+        return rows
+
+    def _shard_relation_rows(self, shard: int, relation: str) -> List[tuple]:
+        sampler = self.samplers[shard]
+        index = getattr(sampler, "index", None)
+        if index is None:
+            raise TypeError(
+                f"{type(sampler).__name__} does not expose a dynamic index; "
+                "rebalancing needs the shard-local relation state"
+            )
+        return index.database[relation].rows
 
     def merged_sample(
         self, k: Optional[int] = None, rng: Optional[random.Random] = None
@@ -449,14 +581,17 @@ class ShardedIngestor:
         per-chunk observability polling into quadratic total work.  Call
         :meth:`shard_counts` / :meth:`total_results` explicitly when exact
         figures are worth that price.
+
+        After :meth:`ingest_parallel` the in-process timing accumulators
+        were never exercised (the work happened in worker processes), so
+        ``critical_path_seconds`` and ``shard_busy_seconds`` are reported
+        as ``None`` rather than a misleading ``0.0``; ``partition_seconds``
+        is real (partitioning runs in the parent).  Likewise an async
+        transport driver sets ``timing_incomplete`` — shards then run ahead
+        of each other with no per-chunk barrier, so ``shard_busy_seconds``
+        and ``partition_seconds`` stay real but no critical path exists.
         """
-        if self._frozen is not None:
-            shard_tuples = [
-                int(state.statistics.get("tuples_processed", 0))
-                for state in self._frozen
-            ]
-        else:
-            shard_tuples = [ingestor.tuples_ingested for ingestor in self.ingestors]
+        frozen = self._frozen is not None
         return {
             "num_shards": self.num_shards,
             "partition_attr": self.partition_attr,
@@ -465,8 +600,19 @@ class ShardedIngestor:
             "batches_ingested": self.batches_ingested,
             "broadcast_deliveries": self.broadcast_deliveries,
             "broadcast_relations": list(self.broadcast_relations),
-            "shard_tuples": shard_tuples,
-            "parallel": self._frozen is not None,
+            "shard_tuples": self.shard_loads(),
+            "relation_deliveries": dict(self.relation_deliveries),
+            "load_imbalance": round(self.load_imbalance(), 4),
+            "partition_seconds": round(self.partition_seconds, 4),
+            "critical_path_seconds": (
+                None
+                if frozen or self.timing_incomplete
+                else round(self.critical_path_seconds, 4)
+            ),
+            "shard_busy_seconds": (
+                None if frozen else [round(s, 4) for s in self.shard_busy_seconds]
+            ),
+            "parallel": frozen,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -9,8 +9,9 @@ and replay streams reproducibly.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 
 @dataclass(frozen=True)
@@ -88,6 +89,68 @@ def validated_items(items: Iterable, query) -> List[Tuple[str, Tuple]]:
                 f"{relation!r} arity {arity}"
             )
     return pairs
+
+
+def chunk_stream(stream: Iterable, size: int) -> Iterator[List]:
+    """Yield consecutive chunks of at most ``size`` items from ``stream``.
+
+    The canonical chunker behind every batched/sharded/async ingestion mode
+    (``repro.ingest.batch.chunked`` is an alias).  Chunk boundaries are where
+    the per-prefix uniformity guarantee holds, so anything that transports
+    streams in chunks of this shape can feed any ingestor.
+    """
+    if size <= 0:
+        raise ValueError("chunk size must be positive")
+    chunk: List = []
+    for item in stream:
+        chunk.append(item)
+        if len(chunk) >= size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+class ThrottledChunkSource:
+    """A chunked stream source whose delivery blocks like a real transport.
+
+    Iterating yields the chunks of ``stream`` (``chunk_size`` items each) and
+    blocks for ``latency_seconds`` before handing over each chunk — the shape
+    of a network fetch, a Kafka poll or a paginated scan, where the *next*
+    chunk is not available the instant the previous one was consumed.
+
+    Synchronous ingestion over such a source pays ``sum(latencies) + cpu``;
+    the async pipeline (:class:`~repro.ingest.pipeline.AsyncIngestor`)
+    overlaps the blocking wait with sampler CPU and pays roughly
+    ``max(sum(latencies), cpu)``.  ``wait_seconds`` and ``chunks_yielded``
+    record what the transport actually cost, and ``sleep`` is injectable so
+    tests can run latency-free.
+    """
+
+    def __init__(
+        self,
+        stream: Iterable,
+        chunk_size: int,
+        latency_seconds: float = 0.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if latency_seconds < 0:
+            raise ValueError("latency must be non-negative")
+        self._stream = stream
+        self.chunk_size = chunk_size
+        self.latency_seconds = latency_seconds
+        self._sleep = sleep
+        self.chunks_yielded = 0
+        self.wait_seconds = 0.0
+
+    def __iter__(self) -> Iterator[List]:
+        for chunk in chunk_stream(self._stream, self.chunk_size):
+            if self.latency_seconds > 0.0:
+                start = time.perf_counter()
+                self._sleep(self.latency_seconds)
+                self.wait_seconds += time.perf_counter() - start
+            self.chunks_yielded += 1
+            yield chunk
 
 
 def stream_from_rows(relation: str, rows: Iterable[Sequence], start: int = 0) -> List[StreamTuple]:

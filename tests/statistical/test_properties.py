@@ -17,6 +17,13 @@ the two properties the sharded/bulk refactor must preserve:
     ``insert`` — the bulk path degenerates exactly, not just
     distributionally.
 
+(c) **Rebalancing preserves (a) through a triggered rebalance.**  On a
+    skewed stream that provably trips the ``SkewMonitor``, the
+    ``RebalancingIngestor``'s replay must leave ``merged_sample`` drawing
+    from exactly the unsharded result set (over-sized reservoir check) and
+    uniformly over it (chi-square) — the replay invariant of
+    ``repro.ingest.rebalance``, at the chunk boundary after the switch.
+
 Trial counts honour ``REPRO_STAT_TRIALS`` (see ``tests/conftest.py``).
 """
 
@@ -31,8 +38,10 @@ from repro import (
     BatchIngestor,
     CyclicReservoirJoin,
     JoinQuery,
+    RebalancingIngestor,
     ReservoirJoin,
     ShardedIngestor,
+    SkewMonitor,
     StreamTuple,
 )
 from repro.relational import Database, count_results, join_size
@@ -159,6 +168,81 @@ def test_count_results_matches_enumeration_on_random_cases(case_seed):
     for item in stream:
         database.insert(item.relation, item.row)
     assert count_results(query, database) == join_size(query, database)
+
+
+# ---------------------------------------------------------------------- #
+# (c) Rebalancing preserves the sharded ≡ unsharded property
+# ---------------------------------------------------------------------- #
+def skewed_chain_case(rng: random.Random) -> Tuple[JoinQuery, List[StreamTuple]]:
+    """A chain-3 query with a stream hot enough to trip the skew monitor."""
+    query = JoinQuery.from_spec(
+        "chain-3", {"R1": ["x1", "x2"], "R2": ["x2", "x3"], "R3": ["x3", "x4"]}
+    )
+    domain = rng.choice([4, 5])
+    stream = []
+    for i in range(600):
+        relation = ("R1", "R2", "R3")[i % 3]
+        hot = 0 if rng.random() < 0.7 else rng.randrange(1, domain)
+        if relation == "R1":
+            row = (rng.randrange(domain), hot)
+        elif relation == "R2":
+            row = (hot, rng.randrange(domain))
+        else:
+            row = (rng.randrange(domain), rng.randrange(domain))
+        stream.append(StreamTuple(relation, row))
+    return query, stream
+
+
+def rebalancing_ingestor(query: JoinQuery, k: int, seed: int) -> RebalancingIngestor:
+    return RebalancingIngestor(
+        query,
+        k=k,
+        num_shards=4,
+        chunk_size=64,
+        monitor=SkewMonitor(threshold=1.25, min_tuples=128, cooldown_chunks=2),
+        rng=random.Random(seed),
+    )
+
+
+@pytest.mark.parametrize("case_seed", [17, 41, 83])
+def test_rebalance_preserves_the_exact_result_set(case_seed):
+    """Over-sized reservoirs: post-rebalance merged sample == ground truth."""
+    rng = random.Random(case_seed)
+    query, stream = skewed_chain_case(rng)
+    truth = ground_truth_keys(query, stream)
+    assert len(truth) > 8
+    ingestor = rebalancing_ingestor(query, k=len(truth) + 5, seed=1)
+    ingestor.ingest(stream)
+    assert ingestor.rebalances, "the skewed stream must trigger a rebalance"
+    assert ingestor.total_results() == len(truth)
+    assert {result_key(r) for r in ingestor.merged_sample()} == truth
+
+
+@pytest.mark.parametrize("case_seed", [23, 67])
+def test_post_rebalance_merged_sample_uniform(case_seed):
+    """Chi-square: merged_sample(k) stays uniform after a triggered rebalance.
+
+    The trigger and the adopted plan depend only on the stream and the
+    stable hash — never on the sampler RNG — so every trial rebalances
+    identically and the inclusion counts are i.i.d. across trials.
+    """
+    rng = random.Random(case_seed)
+    query, stream = skewed_chain_case(rng)
+    universe = ground_truth(query, stream)
+    if len(universe) < 8:
+        pytest.skip("degenerate random instance (join too small)")
+    k = max(3, len(universe) // 8)
+
+    def run_one(seed):
+        ingestor = rebalancing_ingestor(query, k=k, seed=seed)
+        ingestor.ingest(stream)
+        assert ingestor.rebalances, "every trial must exercise the replay path"
+        sample = ingestor.merged_sample()
+        assert len(sample) == min(k, len(universe))
+        return sample
+
+    p_value = uniformity_p_value(run_one, universe, TRIALS, k)
+    assert p_value > P_THRESHOLD, f"post-rebalance rejected: p={p_value:.5f}"
 
 
 # ---------------------------------------------------------------------- #

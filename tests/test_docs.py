@@ -1,0 +1,38 @@
+"""The documentation must stay executable (docs-can't-rot guard).
+
+The default pytest run performs the *static* half of ``make docs-check``:
+every ``python`` fence in README.md / docs/ARCHITECTURE.md must compile and
+every path referenced by a ``bash`` fence must exist (and compile, for .py
+files) — so renaming a benchmark or test directory fails here even before
+``make docs-check`` executes the runnable fences for real.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def run_docs_check(*args):
+    return subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "docs_check.py"), *args],
+        capture_output=True, text=True, cwd=REPO_ROOT,
+    )
+
+
+def test_docs_static_check_passes():
+    result = run_docs_check("--static")
+    assert result.returncode == 0, result.stderr
+    assert "OK" in result.stdout
+
+
+def test_docs_check_sees_every_documented_surface():
+    # The guard is only meaningful if the docs actually exist and contain
+    # checkable fences.
+    result = run_docs_check("--static")
+    assert result.returncode == 0, result.stderr
+    checked = int(result.stdout.split("fences checked")[0].split()[-1])
+    assert checked >= 8, result.stdout

@@ -1,0 +1,201 @@
+#!/usr/bin/env python
+"""Execute every fenced command in the documentation so the docs can't rot.
+
+Contract (what a doc author needs to know):
+
+* ``python`` fences are executed with ``PYTHONPATH=src`` from the repo root.
+  Keep them fast — they run on every ``make docs-check``.
+* ``bash`` fences are executed line by line through ``bash -e`` (comment and
+  blank lines dropped), also from the repo root with ``PYTHONPATH=src``.
+* A fence immediately preceded by an HTML comment ``<!-- docs-check: skip -->``
+  is **not executed** (reserved for slow commands: benchmarks, full test
+  runs).  It is still *statically* checked: every ``python <file>`` target
+  must exist (and compile), and every ``pytest <path>`` target must exist —
+  a renamed benchmark or test directory still fails the check.
+* Fences in any other language (text, json, ...) are ignored.
+
+Modes:
+
+* ``python tools/docs_check.py`` — full check: execute + static.
+* ``python tools/docs_check.py --static`` — static only: no execution;
+  ``python`` fences are compiled, ``bash`` fences path-checked.  This is
+  what ``tests/test_docs.py`` runs, so the default pytest invocation guards
+  the docs cheaply; ``make docs-check`` runs the full version.
+
+Exit status is non-zero on the first failure, with the file, fence number
+and offending command in the message.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import py_compile
+import re
+import shlex
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = ("README.md", "docs/ARCHITECTURE.md")
+SKIP_MARKER = "<!-- docs-check: skip -->"
+EXECUTE_TIMEOUT_SECONDS = 300
+
+FENCE_RE = re.compile(r"^```(\w*)\s*$")
+
+
+@dataclass
+class Fence:
+    """One fenced code block of a documentation file."""
+
+    path: Path
+    index: int          # 1-based fence number within the file
+    language: str
+    body: str
+    skipped: bool       # preceded by the skip marker
+
+    def describe(self) -> str:
+        return f"{self.path.relative_to(REPO_ROOT)} fence #{self.index} ({self.language})"
+
+
+def iter_fences(path: Path) -> Iterator[Fence]:
+    lines = path.read_text().splitlines()
+    index = 0
+    position = 0
+    while position < len(lines):
+        match = FENCE_RE.match(lines[position])
+        if not match:
+            position += 1
+            continue
+        language = match.group(1).lower()
+        skipped = any(
+            SKIP_MARKER in previous
+            for previous in lines[max(0, position - 2):position]
+        )
+        body: List[str] = []
+        position += 1
+        while position < len(lines) and not lines[position].startswith("```"):
+            body.append(lines[position])
+            position += 1
+        position += 1  # closing fence
+        index += 1
+        yield Fence(path, index, language, "\n".join(body), skipped)
+
+
+def check_environment() -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}:{existing}" if existing else src
+    return env
+
+
+def command_lines(body: str) -> List[str]:
+    commands = []
+    for line in body.splitlines():
+        stripped = line.strip()
+        if stripped and not stripped.startswith("#"):
+            commands.append(stripped)
+    return commands
+
+
+def referenced_paths(command: str) -> List[Path]:
+    """Files/dirs a command names: ``python <file>`` and ``pytest <path>``."""
+    try:
+        tokens = shlex.split(command)
+    except ValueError:
+        return []
+    paths: List[Path] = []
+    for program, argument in zip(tokens, tokens[1:]):
+        looks_like_path = not argument.startswith("-") and (
+            "/" in argument or argument.endswith(".py")
+        )
+        if program.endswith(("python", "python3", "pytest")) and looks_like_path:
+            paths.append(REPO_ROOT / argument)
+    for token in tokens:
+        if token.startswith(("tests/", "benchmarks/", "examples/", "tools/", "docs/")):
+            paths.append(REPO_ROOT / token)
+    return paths
+
+
+def fail(message: str) -> None:
+    print(f"docs-check: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def static_check(fence: Fence) -> None:
+    """Existence/compile checks that run even for skipped fences."""
+    if fence.language == "python":
+        try:
+            compile(fence.body, fence.describe(), "exec")
+        except SyntaxError as error:
+            fail(f"{fence.describe()} does not compile: {error}")
+        return
+    for command in command_lines(fence.body):
+        for path in referenced_paths(command):
+            if not path.exists():
+                fail(f"{fence.describe()} references missing path: {path}")
+            if path.suffix == ".py":
+                try:
+                    py_compile.compile(str(path), doraise=True)
+                except py_compile.PyCompileError as error:
+                    fail(f"{fence.describe()}: {path} does not compile: {error}")
+
+
+def execute(fence: Fence) -> None:
+    env = check_environment()
+    if fence.language == "python":
+        argv = [sys.executable, "-c", fence.body]
+    else:
+        script = "\n".join(command_lines(fence.body))
+        if not script:
+            return
+        argv = ["bash", "-e", "-c", script]
+    try:
+        result = subprocess.run(
+            argv, cwd=REPO_ROOT, env=env,
+            capture_output=True, text=True, timeout=EXECUTE_TIMEOUT_SECONDS,
+        )
+    except subprocess.TimeoutExpired:
+        fail(
+            f"{fence.describe()} did not finish within "
+            f"{EXECUTE_TIMEOUT_SECONDS}s\n--- command ---\n{fence.body}"
+        )
+    if result.returncode != 0:
+        fail(
+            f"{fence.describe()} exited with {result.returncode}\n"
+            f"--- command ---\n{fence.body}\n"
+            f"--- stdout ---\n{result.stdout}\n--- stderr ---\n{result.stderr}"
+        )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--static", action="store_true",
+        help="static checks only: compile python fences, verify bash paths",
+    )
+    args = parser.parse_args()
+
+    checked = executed = 0
+    for name in DOC_FILES:
+        path = REPO_ROOT / name
+        if not path.exists():
+            fail(f"documentation file missing: {name}")
+        for fence in iter_fences(path):
+            if fence.language not in ("python", "bash"):
+                continue
+            checked += 1
+            static_check(fence)
+            if not args.static and not fence.skipped:
+                execute(fence)
+                executed += 1
+    mode = "static" if args.static else "full"
+    print(f"docs-check ({mode}): {checked} fences checked, {executed} executed — OK")
+
+
+if __name__ == "__main__":
+    main()
