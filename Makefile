@@ -4,10 +4,16 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test unit docs-check slow slow-smoke bench
+.PHONY: test test-smoke unit docs-check slow slow-smoke bench bench-fanout
 
 # The default invocation: the fast deterministic suite + executable docs.
 test: unit docs-check
+
+# The CI smoke profile in one shot: tier-1 suite, executable docs, and the
+# statistical suites at the scaled-down REPRO_STAT_TRIALS=60 trial counts
+# (the whole thing finishes in well under three minutes).
+test-smoke: unit docs-check
+	REPRO_STAT_TRIALS=60 python -m pytest -m slow -q
 
 unit:
 	python -m pytest -x -q
@@ -30,3 +36,7 @@ bench:
 	python benchmarks/bench_batch_ingest.py
 	python benchmarks/bench_shard_ingest.py
 	python benchmarks/bench_rebalance.py
+	python benchmarks/bench_fanout.py
+
+bench-fanout:
+	python benchmarks/bench_fanout.py

@@ -43,7 +43,16 @@ Every sampler supports three interchangeable ways of consuming a stream:
   single-threaded workloads plain batched ingestion does strictly less work
   (broadcast relations are replicated per shard).
 
-Two orthogonal add-ons compose with the sharded mode:
+* **Fan-out** — ``FanoutIngestor(chunk_size, rng)`` with
+  ``register(name, factory)`` per consumer.  One pass over the stream
+  delivers every chunk to all registered backends (acyclic, cyclic,
+  baseline, even sharded ingestors), each seeded independently from the
+  master RNG so its reservoir is bit-identical to a standalone run.  Choose
+  it when several consumers need their own synopsis of the *same* stream —
+  the pass is paid once, and with one worker per backend the wall clock is
+  the slowest backend instead of the sum.
+
+Two orthogonal add-ons compose with the sharded and fan-out modes:
 
 * **Skew-aware rebalancing** — ``RebalancingIngestor`` wraps a sharded
   ingestor with a ``SkewMonitor`` that watches the O(1) per-shard load
@@ -72,7 +81,10 @@ from .core.reservoir import ReservoirSampler, SkipReservoirSampler
 from .core.predicate_reservoir import PredicateReservoir
 from .core.batch_reservoir import BatchedPredicateReservoir
 from .core.reservoir_join import ReservoirJoin
+from .core.backend import SamplerBackend
 from .ingest.batch import BatchIngestor
+from .ingest.engine import IngestionEngine
+from .ingest.fanout import FanoutIngestor
 from .ingest.pipeline import AsyncIngestor
 from .ingest.rebalance import RebalancingIngestor, SkewMonitor
 from .ingest.shard import ShardedIngestor
@@ -96,8 +108,11 @@ __all__ = [
     "PredicateReservoir",
     "BatchedPredicateReservoir",
     "ReservoirJoin",
+    "SamplerBackend",
+    "IngestionEngine",
     "BatchIngestor",
     "ShardedIngestor",
+    "FanoutIngestor",
     "RebalancingIngestor",
     "SkewMonitor",
     "AsyncIngestor",

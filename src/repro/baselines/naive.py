@@ -11,14 +11,23 @@ from __future__ import annotations
 import random
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from ..core.backend import PerTupleBatchMixin
 from ..relational.database import Database
 from ..relational.join import join_results
 from ..relational.query import JoinQuery
-from ..relational.stream import StreamTuple, validated_pairs
+from ..relational.stream import StreamTuple
 
 
-class NaiveRecomputeSampler:
-    """Recompute ``Q(R)`` after every insert and resample."""
+class NaiveRecomputeSampler(PerTupleBatchMixin):
+    """Recompute ``Q(R)`` after every insert and resample.
+
+    The chunked seam comes from :class:`~repro.core.backend
+    .PerTupleBatchMixin`, with :meth:`_insert_pairs` overridden to the
+    natural batched semantics of a rebuild-everything baseline: insert the
+    whole chunk, then recompute and resample *once* at the chunk boundary
+    (instead of once per tuple) — the sample stays a uniform draw from the
+    join of the prefix ending at the boundary.
+    """
 
     def __init__(
         self,
@@ -42,16 +51,8 @@ class NaiveRecomputeSampler:
             return
         self._recompute()
 
-    def insert_batch(self, items) -> int:
-        """Process a chunk of stream tuples, recomputing the sample once.
-
-        The natural batched semantics for the rebuild-everything baseline:
-        insert the whole chunk, then recompute and resample once at the
-        chunk boundary (instead of once per tuple), keeping the sample a
-        uniform draw from the join of the prefix ending at the boundary.
-        ``KeyError`` is raised for unknown relations before any insert.
-        """
-        pairs = validated_pairs(items, self.query.relation_names, self.query.name)
+    def _insert_pairs(self, pairs) -> int:
+        """One recompute per chunk: bulk-insert, then rebuild the sample once."""
         self.tuples_processed += len(pairs)
         inserted = sum(
             1 for relation, row in pairs if self.database.insert(relation, row)
@@ -59,6 +60,10 @@ class NaiveRecomputeSampler:
         if inserted:
             self._recompute()
         return inserted
+
+    def spawn(self, rng: Optional[random.Random] = None) -> "NaiveRecomputeSampler":
+        """A fresh, empty replica of this sampler driven by ``rng``."""
+        return NaiveRecomputeSampler(self.query, self.k, rng=rng)
 
     def _recompute(self) -> None:
         results = join_results(self.query, self.database)

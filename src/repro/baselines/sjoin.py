@@ -22,13 +22,14 @@ import bisect
 import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..core.backend import PerTupleBatchMixin
 from ..core.batch_reservoir import BatchedPredicateReservoir
 from ..core.skippable import FunctionBatch
 from ..index.foreign_key import ForeignKeyCombiner
 from ..relational.database import Database
 from ..relational.jointree import JoinTree, RootedJoinTree
 from ..relational.query import JoinQuery
-from ..relational.stream import StreamTuple, validated_pairs
+from ..relational.stream import StreamTuple
 
 
 class _ExactEntry:
@@ -185,13 +186,16 @@ class ExactTreeIndex:
         return self._retrieve_full(node, row, offset)
 
 
-class SJoin:
+class SJoin(PerTupleBatchMixin):
     """The SJoin baseline: exact-count index + reservoir over delta batches.
 
     Mirrors the public interface of :class:`repro.core.reservoir_join.ReservoirJoin`
     (``insert``/``process``/``sample``/``statistics``) so the benchmark harness
     can treat both samplers uniformly.  ``SJoin_opt`` of the paper is obtained
-    with ``foreign_key=True``.
+    with ``foreign_key=True``.  ``insert_batch`` comes from
+    :class:`~repro.core.backend.PerTupleBatchMixin`: SJoin's exact counters
+    must be repropagated on every change, so grouping a chunk buys nothing
+    structurally and the validated per-tuple loop is the honest bulk path.
     """
 
     def __init__(
@@ -202,6 +206,7 @@ class SJoin:
         foreign_key: bool = False,
     ) -> None:
         self.original_query = query
+        self._foreign_key = foreign_key
         self.k = k
         self._rng = rng if rng is not None else random.Random()
         self._combiner: Optional[ForeignKeyCombiner] = None
@@ -247,21 +252,11 @@ class SJoin:
             tree.delta_batch_size(row), tree.delta_batch, row
         )
 
-    def insert_batch(self, items) -> int:
-        """Process a chunk of stream tuples (tuple-at-a-time internally).
-
-        SJoin's exact counters must be repropagated on every change, so
-        grouping a chunk buys nothing structurally; the method exists for
-        drop-in compatibility with the batched ingestion harness.  Unknown
-        relations raise ``KeyError`` before any state changes.
-        """
-        pairs = validated_pairs(
-            items, self.original_query.relation_names, self.original_query.name
+    def spawn(self, rng: Optional[random.Random] = None) -> "SJoin":
+        """A fresh, empty replica of this sampler driven by ``rng``."""
+        return SJoin(
+            self.original_query, self.k, rng=rng, foreign_key=self._foreign_key
         )
-        before = self.tuples_processed - self.duplicates_ignored
-        for relation, row in pairs:
-            self.insert(relation, row)
-        return self.tuples_processed - self.duplicates_ignored - before
 
     def process(self, stream) -> "SJoin":
         """Process a whole stream of :class:`StreamTuple`."""

@@ -15,15 +15,22 @@ from __future__ import annotations
 import random
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from ..core.backend import PerTupleBatchMixin
 from ..core.reservoir import ReservoirSampler
 from ..relational.database import Database
 from ..relational.join import iter_delta_results
 from ..relational.query import JoinQuery
-from ..relational.stream import StreamTuple, validated_pairs
+from ..relational.stream import StreamTuple
 
 
-class SymmetricHashJoinSampler:
-    """Materialise every delta result; sample with the classic reservoir."""
+class SymmetricHashJoinSampler(PerTupleBatchMixin):
+    """Materialise every delta result; sample with the classic reservoir.
+
+    ``insert_batch`` comes from :class:`~repro.core.backend
+    .PerTupleBatchMixin`: every delta result is materialised either way, so
+    there is no bulk saving to exploit — the mixin's validated per-tuple
+    loop makes the baseline drop-in compatible with the batched seam.
+    """
 
     def __init__(
         self,
@@ -50,19 +57,9 @@ class SymmetricHashJoinSampler:
             self.total_join_size += 1
             self.reservoir.process(result)
 
-    def insert_batch(self, items) -> int:
-        """Process a chunk of stream tuples (tuple-at-a-time internally).
-
-        Every delta result is materialised either way, so there is no bulk
-        saving to exploit; the method exists so the baseline is drop-in
-        compatible with the batched ingestion harness.  Unknown relations
-        raise ``KeyError`` before any state changes.
-        """
-        pairs = validated_pairs(items, self.query.relation_names, self.query.name)
-        before = self.tuples_processed - self.duplicates_ignored
-        for relation, row in pairs:
-            self.insert(relation, row)
-        return self.tuples_processed - self.duplicates_ignored - before
+    def spawn(self, rng: Optional[random.Random] = None) -> "SymmetricHashJoinSampler":
+        """A fresh, empty replica of this sampler driven by ``rng``."""
+        return SymmetricHashJoinSampler(self.query, self.k, rng=rng)
 
     def process(self, stream: Iterable[StreamTuple]) -> "SymmetricHashJoinSampler":
         """Process a whole stream of :class:`StreamTuple`."""

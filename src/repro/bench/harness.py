@@ -128,16 +128,19 @@ def run_sampler_sharded(name: str, factory, stream: Sequence[StreamTuple]) -> Ru
 def run_ingestor_critical_path(
     name: str, factory, stream: Sequence[StreamTuple]
 ) -> RunResult:
-    """Measure any instrumented sharded-style ingestor in one serial pass.
+    """Measure any instrumented multi-lane ingestor in one serial pass.
 
     ``factory()`` must build an ingestor whose ``statistics()`` report
-    ``critical_path_seconds`` — :class:`~repro.ingest.shard.ShardedIngestor`
-    and :class:`~repro.ingest.rebalance.RebalancingIngestor` both accumulate,
-    per chunk, the partitioning cost plus the *slowest* shard's sub-chunk
-    time (shards share no state, so that sum is the wall clock of a
-    one-worker-per-shard deployment).  Unlike :func:`run_sampler_sharded`'s
-    replay methodology this also captures mid-stream repartitioning, whose
-    replay and planning costs land in the same accumulator.
+    ``critical_path_seconds`` — every engine-backed ingestor does:
+    :class:`~repro.ingest.shard.ShardedIngestor` and
+    :class:`~repro.ingest.rebalance.RebalancingIngestor` accumulate, per
+    chunk, the partitioning cost plus the *slowest* shard's sub-chunk time,
+    and :class:`~repro.ingest.fanout.FanoutIngestor` the broadcast cost plus
+    the slowest backend (lanes share no state, so that sum is the wall
+    clock of a one-worker-per-lane deployment).  Unlike
+    :func:`run_sampler_sharded`'s replay methodology this also captures
+    mid-stream repartitioning, whose replay and planning costs land in the
+    same accumulator.
 
     ``elapsed_seconds`` is the single-thread serial wall clock, reported
     unredacted alongside the critical path in the statistics.

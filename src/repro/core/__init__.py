@@ -1,5 +1,19 @@
-"""Core sampling algorithms: reservoirs, predicates, batches and the join sampler."""
+"""Core sampling algorithms: reservoirs, predicates, batches and the join sampler.
 
+:mod:`repro.core.backend` defines the :class:`SamplerBackend` protocol — the
+maintenance interface (``insert`` / ``insert_batch`` / ``sample`` /
+``statistics`` plus probed capabilities) that every sampler here conforms to
+and the ingestion seam is written against.
+"""
+
+from .backend import (
+    BackendCapabilities,
+    PerTupleBatchMixin,
+    SamplerBackend,
+    chunk_apply,
+    derive_seed,
+    probe_backend,
+)
 from .skippable import (
     END_OF_STREAM,
     Batch,
@@ -16,6 +30,12 @@ from .reservoir_join import ReservoirJoin
 from . import density
 
 __all__ = [
+    "SamplerBackend",
+    "BackendCapabilities",
+    "PerTupleBatchMixin",
+    "probe_backend",
+    "chunk_apply",
+    "derive_seed",
     "END_OF_STREAM",
     "Batch",
     "FunctionBatch",

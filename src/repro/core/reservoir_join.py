@@ -66,6 +66,12 @@ class ReservoirJoin:
         self.original_query = query
         self.k = k
         self._rng = rng if rng is not None else random.Random()
+        # Remembered so spawn() can clone an identically configured replica.
+        self._config = {
+            "grouping": grouping,
+            "foreign_key": foreign_key,
+            "maintain_root": maintain_root,
+        }
         self._combiner: Optional[ForeignKeyCombiner] = None
         working_query = query
         if foreign_key:
@@ -159,6 +165,18 @@ class ReservoirJoin:
         for item in stream:
             self.insert(item.relation, item.row)
         return self
+
+    def spawn(self, rng: Optional[random.Random] = None) -> "ReservoirJoin":
+        """A fresh, empty, identically configured replica driven by ``rng``.
+
+        The replica-cloning capability of the
+        :class:`~repro.core.backend.SamplerBackend` protocol:
+        :meth:`~repro.ingest.fanout.FanoutIngestor.register_replica` builds
+        per-backend samplers through this (and custom shard factories can),
+        handing each a derived RNG so replica randomness is independent and
+        reproducible.
+        """
+        return ReservoirJoin(self.original_query, self.k, rng=rng, **self._config)
 
     # ------------------------------------------------------------------ #
     # Results and statistics

@@ -119,6 +119,7 @@ class CyclicReservoirJoin:
         self.query = query
         self.k = k
         self._rng = rng if rng is not None else random.Random()
+        self._grouping = grouping  # remembered so spawn() clones the config
         self.ghd = ghd_for(query, ghd)
         self.bag_query = self.ghd.bag_query()
         self.index = DynamicJoinIndex(
@@ -339,6 +340,18 @@ class CyclicReservoirJoin:
         for item in stream:
             self.insert(item.relation, item.row)
         return self
+
+    def spawn(self, rng: Optional[random.Random] = None) -> "CyclicReservoirJoin":
+        """A fresh, empty replica (same query, GHD and flags) driven by ``rng``.
+
+        The replica-cloning capability of the
+        :class:`~repro.core.backend.SamplerBackend` protocol; the replica
+        reuses this sampler's (deterministically chosen or hand-crafted)
+        GHD, so replicas enumerate bags identically.
+        """
+        return CyclicReservoirJoin(
+            self.query, self.k, rng=rng, ghd=self.ghd, grouping=self._grouping
+        )
 
     # ------------------------------------------------------------------ #
     # Results and statistics

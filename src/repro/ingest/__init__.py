@@ -1,52 +1,66 @@
-"""Batched ingestion: the seam between stream transport and samplers.
+"""Ingestion: the seam between stream transport and samplers.
 
 Per-tuple ingestion (``sampler.insert(relation, row)``) pays full Python
 dispatch — index lookups, projection-position resolution, reservoir
 bookkeeping — for every arriving tuple.  The ingestion subsystem amortises
-that cost: a :class:`BatchIngestor` cuts a stream into chunks and drives each
-chunk through the sampler's ``insert_batch`` fast path (bulk index updates,
-one counter propagation per touched family, whole-batch skip decisions in
-the reservoir), falling back to per-tuple inserts for samplers that do not
-implement one.
+that cost and scales it out, and since the engine refactor it is built as
+three layers instead of four sibling class hierarchies:
 
-The uniformity guarantee holds at every chunk boundary: after each ingested
-chunk the reservoir is a uniform sample without replacement of the join
-results of the stream prefix ending there.  Choose the chunk size by how
-fresh the sample must be between boundaries — ``chunk_size=1`` degenerates
-to exact per-tuple semantics.
+1. **The protocol** (:mod:`repro.core.backend`): every sampler conforms to
+   the :class:`~repro.core.backend.SamplerBackend` interface; capability
+   probing (:func:`~repro.core.backend.chunk_apply`) picks each backend's
+   best chunk path once — ``ingest_batch``, ``insert_batch``, or the
+   validated per-tuple fallback — so no ingestor carries its own
+   ``getattr`` boilerplate.
+2. **The engine** (:mod:`repro.ingest.engine`): one shared
+   :class:`IngestionEngine` owns chunk cutting, per-lane dispatch,
+   all-or-nothing routing-time validation, and honest critical-path
+   accounting (``route_seconds`` + slowest lane per chunk).
+3. **Policies and wrappers**: the public ingestors are thin policies over
+   the engine —
 
-This package is also the architectural seam scale-out work plugs into:
-anything that can hand chunks of
-:class:`~repro.relational.stream.StreamTuple` to a :class:`BatchIngestor`
-participates in the fast path.  Three extensions build on it:
+   * :class:`BatchIngestor` — one lane, no routing; the uniformity
+     guarantee holds at every chunk boundary (``chunk_size=1`` degenerates
+     to exact per-tuple semantics).
+   * :class:`ShardedIngestor` — one lane per shard behind a
+     hash-partitioning router (relations lacking the partition attribute
+     are broadcast), with the exactly-uniform ``merged_sample`` recombining
+     the shard reservoirs (see :mod:`repro.ingest.shard`).
+   * :class:`FanoutIngestor` — one lane per registered backend behind
+     broadcast routing: a single stream pass feeds acyclic, cyclic,
+     baseline and even sharded samplers simultaneously, each bit-identical
+     to a standalone run under its derived seed (see
+     :mod:`repro.ingest.fanout`).
+   * :class:`RebalancingIngestor` + :class:`SkewMonitor` stack a
+     chunk-boundary policy on the sharded ingestor: hot partitions are
+     detected from O(1) load counters and the state is replayed under a
+     cooler partitioning (see :mod:`repro.ingest.rebalance`).
+   * :class:`AsyncIngestor` stacks a transport on any of the above:
+     bounded queues + worker threads overlap blocking chunk delivery with
+     sampler CPU (see :mod:`repro.ingest.pipeline`).
 
-* :class:`ShardedIngestor` hash-partitions chunks across independent
-  per-shard sampler replicas (broadcasting the relations that lack the
-  partition attribute) and merges the shard-local reservoirs into one
-  exactly-uniform sample via weighted subsampling (see
-  :mod:`repro.ingest.shard` for the merge rule and its uniformity argument).
-* :class:`RebalancingIngestor` + :class:`SkewMonitor` watch the per-shard
-  load counters for hot partitions and re-partition on a cooler attribute —
-  or split the shard set — by replaying the shard-local relation state into
-  fresh replicas (see :mod:`repro.ingest.rebalance` for why the replay
-  preserves exact uniformity).
-* :class:`AsyncIngestor` pipelines transport against sampler CPU: a
-  producer thread feeds bounded per-shard queues while worker threads
-  ingest, so blocking chunk delivery overlaps reservoir maintenance (see
-  :mod:`repro.ingest.pipeline`).
-
-Multi-backend fan-out remains an open follow-up on the same seam.
+Anything that can hand chunks of
+:class:`~repro.relational.stream.StreamTuple` to one of these participates
+in the fast path; every mode preserves the same guarantee — the reservoir
+is an exactly uniform sample without replacement of the join results of the
+stream prefix at every chunk boundary.
 """
 
 from .batch import BatchIngestor, chunked
+from .engine import DEFAULT_CHUNK_SIZE, EngineLane, IngestionEngine
+from .fanout import FanoutIngestor
 from .pipeline import AsyncIngestor
 from .rebalance import RebalancingIngestor, SkewMonitor, plan_partition, simulate_partition
 from .shard import ShardedIngestor, partition_attribute, stable_shard_hash
 
 __all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "IngestionEngine",
+    "EngineLane",
     "BatchIngestor",
     "chunked",
     "ShardedIngestor",
+    "FanoutIngestor",
     "RebalancingIngestor",
     "SkewMonitor",
     "AsyncIngestor",

@@ -1,22 +1,22 @@
 """The :class:`BatchIngestor` driver and chunking helpers.
 
-See the package docstring for the design rationale.  The ingestor is sampler
-agnostic: anything exposing ``insert_batch(items)`` (``ReservoirJoin``,
-``CyclicReservoirJoin``, the baselines) gets the batched fast path; anything
-exposing only ``insert(relation, row)`` is driven tuple by tuple, so the same
-harness code can run both modes.
+See the package docstring for the design rationale.  The ingestor is the
+simplest policy over the shared :class:`~repro.ingest.engine
+.IngestionEngine`: one lane, no routing.  It is sampler agnostic — the lane's
+apply callable comes from :func:`repro.core.backend.chunk_apply`, so anything
+conforming to the :class:`~repro.core.backend.SamplerBackend` protocol gets
+its best path probed once (``insert_batch`` fast path when present, validated
+per-tuple ``insert`` fallback otherwise) and the same harness code can run
+both kinds.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-from ..relational.stream import StreamTuple, as_relation_rows, chunk_stream
-
-#: Default number of stream tuples per ingested chunk.  Large enough to
-#: amortise per-batch dispatch, small enough that samples stay fresh and a
-#: chunk of join deltas fits comfortably in memory.
-DEFAULT_CHUNK_SIZE = 1024
+from ..core.backend import chunk_apply
+from ..relational.stream import StreamTuple, chunk_stream
+from .engine import DEFAULT_CHUNK_SIZE, EngineLane, IngestionEngine
 
 #: Alias of :func:`repro.relational.stream.chunk_stream`, the canonical
 #: chunker shared by every ingestion mode (kept under its historical name).
@@ -38,22 +38,33 @@ class BatchIngestor:
     Attributes
     ----------
     batches_ingested / tuples_ingested:
-        How many chunks / stream tuples have been pushed so far.
+        How many chunks / stream tuples have been pushed so far (the
+        underlying engine's counters).
     """
 
     def __init__(self, sampler, chunk_size: int = DEFAULT_CHUNK_SIZE) -> None:
-        if chunk_size <= 0:
-            raise ValueError("chunk size must be positive")
         self.sampler = sampler
-        self.chunk_size = chunk_size
-        self.batches_ingested = 0
-        self.tuples_ingested = 0
-        self._insert_batch = getattr(sampler, "insert_batch", None)
+        apply, self._mode = chunk_apply(sampler)
+        self._engine = IngestionEngine(
+            [EngineLane(type(sampler).__name__, apply)], chunk_size=chunk_size
+        )
+
+    @property
+    def chunk_size(self) -> int:
+        return self._engine.chunk_size
+
+    @property
+    def batches_ingested(self) -> int:
+        return self._engine.batches_ingested
+
+    @property
+    def tuples_ingested(self) -> int:
+        return self._engine.tuples_ingested
 
     @property
     def uses_fast_path(self) -> bool:
-        """Whether the sampler exposes a batched fast path."""
-        return self._insert_batch is not None
+        """Whether the sampler exposes a batched (or ingestor) fast path."""
+        return self._mode != "insert"
 
     def ingest_batch(self, items: Sequence) -> int:
         """Push one chunk (``StreamTuple`` or ``(relation, row)`` items).
@@ -61,23 +72,11 @@ class BatchIngestor:
         Returns the number of tuples pushed.  An empty chunk is a no-op and
         does not count as a batch.
         """
-        items = list(items)
-        if not items:
-            return 0
-        if self._insert_batch is not None:
-            self._insert_batch(items)
-        else:
-            insert = self.sampler.insert
-            for relation, row in as_relation_rows(items):
-                insert(relation, row)
-        self.batches_ingested += 1
-        self.tuples_ingested += len(items)
-        return len(items)
+        return self._engine.ingest_batch(items)
 
     def ingest(self, stream: Iterable[StreamTuple]) -> "BatchIngestor":
         """Cut ``stream`` into chunks and ingest them all; returns ``self``."""
-        for chunk in chunked(stream, self.chunk_size):
-            self.ingest_batch(chunk)
+        self._engine.ingest(stream)
         return self
 
     def statistics(self) -> dict:

@@ -53,8 +53,9 @@ import threading
 import time
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..core.backend import chunk_apply
 from ..relational.stream import StreamTuple, chunk_stream
-from .batch import DEFAULT_CHUNK_SIZE, BatchIngestor
+from .batch import DEFAULT_CHUNK_SIZE
 from .shard import ShardedIngestor
 
 #: Default bound on each worker queue, in chunks.
@@ -103,10 +104,12 @@ class AsyncIngestor:
     ----------
     target:
         Where chunks land.  A :class:`ShardedIngestor` gets one worker per
-        shard; anything exposing ``ingest_batch`` or ``insert_batch`` (a
-        sampler, a :class:`BatchIngestor`, a
-        :class:`~repro.ingest.rebalance.RebalancingIngestor`) gets a single
-        worker; any other sampler is wrapped in a :class:`BatchIngestor`.
+        shard; any other target gets a single worker driving the capability
+        probe of :func:`repro.core.backend.chunk_apply` — ``ingest_batch``
+        (a :class:`~repro.ingest.batch.BatchIngestor`, a
+        :class:`~repro.ingest.rebalance.RebalancingIngestor`, a
+        :class:`~repro.ingest.fanout.FanoutIngestor`), else ``insert_batch``
+        (a sampler's bulk path), else the per-tuple fallback.
     chunk_size:
         Chunk size used by :meth:`ingest` when handed a flat stream.
     buffer_chunks:
@@ -160,12 +163,9 @@ class AsyncIngestor:
                 for shard, ingestor in enumerate(target.ingestors)
             ]
         else:
-            if hasattr(target, "ingest_batch"):
-                apply = target.ingest_batch
-            elif hasattr(target, "insert_batch"):
-                apply = target.insert_batch
-            else:
-                apply = BatchIngestor(target, chunk_size=chunk_size).ingest_batch
+            # The shared capability probe: ingestor (ingest_batch) before
+            # sampler bulk path (insert_batch) before the per-tuple fallback.
+            apply, _ = chunk_apply(target)
             self._workers = [_Worker("async-ingest", apply, buffer_chunks)]
         for worker in self._workers:
             worker.thread.start()

@@ -61,6 +61,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..core.backend import derive_seed
 from ..relational.query import JoinQuery
 from ..relational.schema import tuple_getter
 from ..relational.stream import StreamTuple, as_relation_rows, chunk_stream
@@ -352,7 +353,7 @@ class RebalancingIngestor:
             num_shards=num_shards,
             chunk_size=self.chunk_size,
             partition_attr=partition_attr,
-            rng=random.Random(self._rng.getrandbits(48)),
+            rng=random.Random(derive_seed(self._rng)),
         )
 
     # ------------------------------------------------------------------ #

@@ -51,12 +51,14 @@ from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..core.backend import derive_seed
 from ..core.reservoir_join import ReservoirJoin
 from ..relational.join import count_results
 from ..relational.query import JoinQuery
 from ..relational.schema import tuple_getter
 from ..relational.stream import StreamTuple, validated_items
-from .batch import DEFAULT_CHUNK_SIZE, BatchIngestor, chunked
+from .batch import DEFAULT_CHUNK_SIZE, BatchIngestor
+from .engine import EngineLane, IngestionEngine
 
 #: Default shard count; the tentpole benchmark uses this value.
 DEFAULT_NUM_SHARDS = 4
@@ -211,7 +213,7 @@ class ShardedIngestor:
                 f"attribute of query {query.name!r}"
             )
         self._rng = rng if rng is not None else random.Random()
-        self._shard_seeds = [self._rng.getrandbits(48) for _ in range(num_shards)]
+        self._shard_seeds = [derive_seed(self._rng) for _ in range(num_shards)]
         self._custom_factory = factory is not None
         if factory is None:
             factory = lambda shard, shard_rng: ReservoirJoin(query, k, rng=shard_rng)
@@ -222,6 +224,23 @@ class ShardedIngestor:
         self.ingestors = [
             BatchIngestor(sampler, chunk_size=chunk_size) for sampler in self.samplers
         ]
+        # The shared dispatch loop: one lane per shard, the hash router as
+        # the (validating) splitter, and the chunk-boundary counter roll-up
+        # as the boundary hook.  All timing — partitioning cost, per-shard
+        # busy seconds, the critical path — is the engine's accounting.
+        self._engine = IngestionEngine(
+            [
+                EngineLane(f"shard-{shard}", ingestor.ingest_batch)
+                for shard, ingestor in enumerate(self.ingestors)
+            ],
+            chunk_size=chunk_size,
+            router=self._route,
+            after_chunk=[
+                lambda items, parts: self.note_chunk(
+                    len(items), sum(map(len, parts))
+                )
+            ],
+        )
         # Projection getters for the relations that carry the partition
         # attribute; every other relation is broadcast.
         self._value_getters: Dict[str, Callable] = {}
@@ -240,20 +259,43 @@ class ShardedIngestor:
         self.relation_deliveries: Dict[str, int] = {
             name: 0 for name in query.relation_names
         }
-        # Per-chunk timing: shards share no state, so the wall-clock of a
-        # one-worker-per-shard deployment is, per chunk, the partitioning
-        # cost plus the *slowest* shard's sub-chunk — accumulated here so
-        # rebalancing benchmarks and monitors read it straight off
-        # :meth:`statistics` instead of re-deriving it with a replay.
-        self.partition_seconds = 0.0
-        self.critical_path_seconds = 0.0
-        self.shard_busy_seconds = [0.0] * num_shards
         # Set by drivers that bypass the per-chunk barrier (the async
         # transport): the critical-path accumulator is then meaningless and
         # statistics() reports it as None instead of a misleading figure.
         self.timing_incomplete = False
         self._counts: Optional[List[int]] = None
         self._frozen: Optional[List[_ShardState]] = None
+
+    # ------------------------------------------------------------------ #
+    # Timing (delegated to the engine's accounting)
+    # ------------------------------------------------------------------ #
+    # Shards share no state, so the wall clock of a one-worker-per-shard
+    # deployment is, per chunk, the partitioning cost plus the *slowest*
+    # shard's sub-chunk.  The engine accumulates exactly that; these views
+    # keep the historical names (and stay writable, because the async
+    # transport driver adds its own measurements into them).
+    @property
+    def partition_seconds(self) -> float:
+        """Cumulative cost of hash-partitioning chunks across the shards."""
+        return self._engine.route_seconds
+
+    @partition_seconds.setter
+    def partition_seconds(self, value: float) -> None:
+        self._engine.route_seconds = value
+
+    @property
+    def critical_path_seconds(self) -> float:
+        """Per-chunk partitioning cost + slowest shard, accumulated."""
+        return self._engine.critical_path_seconds
+
+    @critical_path_seconds.setter
+    def critical_path_seconds(self, value: float) -> None:
+        self._engine.critical_path_seconds = value
+
+    @property
+    def shard_busy_seconds(self) -> List[float]:
+        """Per-shard busy time — the engine's live lane list (mutable)."""
+        return self._engine.lane_busy_seconds
 
     # ------------------------------------------------------------------ #
     # Routing
@@ -333,25 +375,7 @@ class ShardedIngestor:
                 "this ingestor was finalised by ingest_parallel(); "
                 "build a new one to ingest more"
             )
-        items = list(items)
-        if not items:
-            return 0
-        start = time.perf_counter()
-        parts = self._route(items)
-        partition_seconds = time.perf_counter() - start
-        slowest = 0.0
-        for shard, (ingestor, part) in enumerate(zip(self.ingestors, parts)):
-            if part:
-                start = time.perf_counter()
-                ingestor.ingest_batch(part)
-                elapsed = time.perf_counter() - start
-                self.shard_busy_seconds[shard] += elapsed
-                if elapsed > slowest:
-                    slowest = elapsed
-        self.partition_seconds += partition_seconds
-        self.critical_path_seconds += partition_seconds + slowest
-        self.note_chunk(len(items), sum(map(len, parts)))
-        return len(items)
+        return self._engine.ingest_batch(items)
 
     def note_chunk(self, tuples: int, deliveries: int) -> None:
         """Record one ingested chunk's counters and invalidate count caches.
@@ -369,8 +393,7 @@ class ShardedIngestor:
 
     def ingest(self, stream: Iterable[StreamTuple]) -> "ShardedIngestor":
         """Cut ``stream`` into chunks and ingest them all; returns ``self``."""
-        for chunk in chunked(stream, self.chunk_size):
-            self.ingest_batch(chunk)
+        self._engine.ingest(stream, sink=self.ingest_batch)
         return self
 
     def ingest_parallel(

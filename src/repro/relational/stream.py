@@ -46,29 +46,14 @@ def as_relation_rows(items: Iterable) -> List[Tuple[str, Tuple]]:
     return pairs
 
 
-def validated_pairs(items: Iterable, known: Iterable[str], query_name: str) -> List[Tuple[str, Tuple]]:
-    """Normalise a batch and reject unknown relations before any mutation.
-
-    The shared front half of every ``insert_batch`` implementation: returns
-    the ``(relation, row)`` pairs of :func:`as_relation_rows`, raising
-    ``KeyError`` if any pair names a relation outside ``known`` — so a
-    failed call leaves the sampler untouched.
-    """
-    pairs = as_relation_rows(items)
-    known = set(known)
-    for relation, _ in pairs:
-        if relation not in known:
-            raise KeyError(
-                f"relation {relation!r} is not part of query {query_name!r}"
-            )
-    return pairs
-
-
 def validated_items(items: Iterable, query) -> List[Tuple[str, Tuple]]:
     """Normalise a batch and validate it against ``query`` before any mutation.
 
-    The strict front half of the ``insert_batch`` implementations: returns
-    the ``(relation, row)`` pairs of :func:`as_relation_rows`, raising
+    The shared front half of every ``insert_batch`` implementation — the
+    structural bulk paths, :class:`repro.core.backend.PerTupleBatchMixin`
+    and the probed per-tuple fallback of :func:`repro.core.backend
+    .chunk_apply` all validate through this: returns the
+    ``(relation, row)`` pairs of :func:`as_relation_rows`, raising
     ``KeyError`` for a pair naming a relation outside the query and
     ``ValueError`` for a row whose arity does not match its relation's schema.
     Both checks run over the *whole* batch before the caller touches any
@@ -94,7 +79,9 @@ def validated_items(items: Iterable, query) -> List[Tuple[str, Tuple]]:
 def chunk_stream(stream: Iterable, size: int) -> Iterator[List]:
     """Yield consecutive chunks of at most ``size`` items from ``stream``.
 
-    The canonical chunker behind every batched/sharded/async ingestion mode
+    The canonical chunker behind every ingestion mode — batched, sharded,
+    fan-out and async all cut streams through the
+    :class:`~repro.ingest.engine.IngestionEngine`, which uses this
     (``repro.ingest.batch.chunked`` is an alias).  Chunk boundaries are where
     the per-prefix uniformity guarantee holds, so anything that transports
     streams in chunks of this shape can feed any ingestor.

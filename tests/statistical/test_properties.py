@@ -24,6 +24,14 @@ the two properties the sharded/bulk refactor must preserve:
     uniformly over it (chi-square) — the replay invariant of
     ``repro.ingest.rebalance``, at the chunk boundary after the switch.
 
+(d) **Fan-out ≡ standalone, per backend, bit for bit.**  Every backend of a
+    ``FanoutIngestor`` must end the stream in exactly the state a
+    standalone batched run of the same factory under the recorded derived
+    seed produces — same reservoir in order, same statistics — and each
+    backend's sample must independently pass the chi-square uniformity
+    check.  Fan-out is a delivery optimisation, never a distribution
+    change.
+
 Trial counts honour ``REPRO_STAT_TRIALS`` (see ``tests/conftest.py``).
 """
 
@@ -37,6 +45,7 @@ import pytest
 from repro import (
     BatchIngestor,
     CyclicReservoirJoin,
+    FanoutIngestor,
     JoinQuery,
     RebalancingIngestor,
     ReservoirJoin,
@@ -243,6 +252,66 @@ def test_post_rebalance_merged_sample_uniform(case_seed):
 
     p_value = uniformity_p_value(run_one, universe, TRIALS, k)
     assert p_value > P_THRESHOLD, f"post-rebalance rejected: p={p_value:.5f}"
+
+
+# ---------------------------------------------------------------------- #
+# (d) Fan-out backends ≡ standalone runs, bit for bit, and uniform
+# ---------------------------------------------------------------------- #
+FANOUT_FACTORIES = {
+    "fresh": lambda query, k: (lambda rng: ReservoirJoin(query, max(3, k // 2), rng=rng)),
+    "analytics": lambda query, k: (lambda rng: ReservoirJoin(query, k, rng=rng)),
+    "cyclic": lambda query, k: (lambda rng: CyclicReservoirJoin(query, k, rng=rng)),
+}
+
+
+@pytest.mark.parametrize("case_seed", [9, 31, 77])
+def test_fanout_backends_bit_identical_to_standalone(case_seed):
+    """Each fan-out backend == the same factory run standalone, bit for bit."""
+    rng = random.Random(case_seed)
+    query, stream = random_acyclic_case(rng)
+    k = rng.choice([4, 9])
+    chunk = rng.choice([7, 16])
+
+    factories = {
+        name: make(query, k) for name, make in FANOUT_FACTORIES.items()
+    }
+    fan = FanoutIngestor(chunk_size=chunk, rng=random.Random(case_seed + 1))
+    for name, factory in factories.items():
+        fan.register(name, factory)
+    fan.ingest(stream)
+
+    for name, factory in factories.items():
+        alone = factory(random.Random(fan.backend_seed(name)))
+        BatchIngestor(alone, chunk_size=chunk).ingest(stream)
+        assert fan.backend(name).sample == alone.sample, name
+        assert fan.backend(name).statistics() == alone.statistics(), name
+
+
+@pytest.mark.parametrize("case_seed", [47, 101])
+def test_fanout_backends_each_uniform(case_seed):
+    """Chi-square per backend: fan-out delivery does not bend any backend."""
+    rng = random.Random(case_seed)
+    query, stream = random_acyclic_case(rng)
+    universe = ground_truth(query, stream)
+    if len(universe) < 8:
+        pytest.skip("degenerate random instance (join too small)")
+    k = max(3, len(universe) // 8)
+
+    def run_backend(name):
+        def run_one(seed):
+            fan = FanoutIngestor(chunk_size=11, rng=random.Random(seed))
+            fan.register("acyclic", lambda r: ReservoirJoin(query, k, rng=r))
+            fan.register("cyclic", lambda r: CyclicReservoirJoin(query, k, rng=r))
+            fan.ingest(stream)
+            sample = fan.backend(name).sample
+            assert len(sample) == min(k, len(universe))
+            return sample
+
+        return run_one
+
+    for name in ("acyclic", "cyclic"):
+        p_value = uniformity_p_value(run_backend(name), universe, TRIALS, k)
+        assert p_value > P_THRESHOLD, f"fan-out {name} rejected: p={p_value:.5f}"
 
 
 # ---------------------------------------------------------------------- #

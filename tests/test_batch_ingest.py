@@ -257,6 +257,22 @@ class TestInsertBatchEdgeCases:
             with pytest.raises(KeyError):
                 sampler.insert_batch([("NOPE", (1, 2))])
 
+    def test_bad_arity_other_samplers_rejects_whole_chunk(self, line3_query):
+        """Wrong arity raises before any mutation — baselines included.
+
+        The whole-chunk pre-mutation contract of ``insert_batch`` (good
+        tuple first, bad tuple later: nothing may leak in), which the
+        fan-out's rejection classification relies on.
+        """
+        for sampler in (
+            SJoin(line3_query, 5),
+            SymmetricHashJoinSampler(line3_query, 5),
+            NaiveRecomputeSampler(line3_query, 5),
+        ):
+            with pytest.raises(ValueError):
+                sampler.insert_batch([("R1", (1, 2)), ("R1", (1, 2, 3))])
+            assert sampler.statistics()["tuples_processed"] == 0, type(sampler)
+
 
 # ---------------------------------------------------------------------- #
 # Equivalence of the batched fast path with per-tuple processing
