@@ -4,7 +4,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test test-smoke unit docs-check slow slow-smoke bench bench-fanout
+.PHONY: test test-smoke unit docs-check slow slow-smoke bench bench-smoke bench-fanout
 
 # The default invocation: the fast deterministic suite + executable docs.
 test: unit docs-check
@@ -40,3 +40,11 @@ bench:
 
 bench-fanout:
 	python benchmarks/bench_fanout.py
+
+# Tiny-N smoke of the four seam benchmarks (REPRO_BENCH_SCALE=0.02, one
+# repeat): asserts each still *executes and emits valid JSON* — imports,
+# streams, internal bit-identity/exact-count assertions, report schema.  No
+# speedup thresholds: per the bench-box convention, ratios are far too noisy
+# to gate CI on.  The emitted BENCH_*.json files are CI artifacts.
+bench-smoke:
+	python tools/bench_smoke.py

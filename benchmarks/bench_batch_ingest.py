@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import gc
 import json
+import os
 import random
 import time
 from typing import Dict, List
@@ -23,15 +24,21 @@ from repro.ingest.batch import BatchIngestor
 from repro.relational.query import JoinQuery
 from repro.relational.stream import StreamTuple
 
-N_TUPLES = 50_000
+#: CI smoke knob: ``REPRO_BENCH_SCALE`` < 1 shrinks the streams (and the
+#: chunk-size knobs that must shrink with them) proportionally.  Used by
+#: ``make bench-smoke`` to assert the benchmark *executes and emits valid
+#: JSON* in seconds; speedup figures at tiny scales are noise and are never
+#: gated on (see the bench-box convention in ``docs/ARCHITECTURE.md``).
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1"))
+N_TUPLES = max(600, int(50_000 * SCALE))
 SAMPLE_SIZE = 1_000
 DOMAIN = 4_000
-CHUNK_SIZES = [1_024, 8_192]
+CHUNK_SIZES = [max(64, int(1_024 * SCALE)), max(128, int(8_192 * SCALE))]
 #: Repeats per mode; the *minimum* is reported, as recommended for
 #: microbenchmarks (the min is the least-noise estimate of the true cost —
 #: see the ``timeit`` docs; medians still wobble under multi-second
 #: scheduler noise on shared machines).
-REPEATS = 5
+REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "5"))
 SEED = 2024
 TARGET_SPEEDUP = 2.0
 

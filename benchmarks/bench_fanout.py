@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import gc
 import json
+import os
 import random
 import time
 from typing import Dict, List
@@ -44,11 +45,15 @@ from repro.ingest.fanout import FanoutIngestor
 from repro.relational.query import JoinQuery
 from repro.relational.stream import StreamTuple
 
-N_TUPLES = 50_000
+#: CI smoke knob (see ``bench_batch_ingest.py``): shrink the stream and the
+#: chunk size proportionally so ``make bench-smoke`` can assert execution +
+#: valid JSON (bit-identity included) in seconds.
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1"))
+N_TUPLES = max(600, int(50_000 * SCALE))
 DOMAIN = 4_000
-CHUNK_SIZE = 4_096
+CHUNK_SIZE = max(128, int(4_096 * SCALE))
 #: Repeats per measurement; the *minimum* is reported (least-noise estimate).
-REPEATS = 3
+REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
 SEED = 2024
 FANOUT_SEED = 1
 TARGET_RATIO = 1.4

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import gc
 import json
+import os
 import random
 import time
 from bisect import bisect_left
@@ -52,9 +53,15 @@ from repro.ingest.shard import ShardedIngestor
 from repro.relational.query import JoinQuery
 from repro.relational.stream import StreamTuple, ThrottledChunkSource
 
-N_TUPLES = 150_000
+#: CI smoke knob (see ``bench_batch_ingest.py``): shrink the stream and the
+#: boundary-sensitive knobs (chunk size, rebalance trigger floor, async
+#: transport scenario) proportionally so ``make bench-smoke`` can assert
+#: execution + valid JSON — including that the tiny Zipf stream still trips
+#: the skew monitor.
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1"))
+N_TUPLES = max(4_000, int(150_000 * SCALE))
 SAMPLE_SIZE = 1_000
-CHUNK_SIZE = 8_192
+CHUNK_SIZE = max(128, int(8_192 * SCALE))
 NUM_SHARDS = 4
 ZIPF_SKEW = 2.0
 X2_DOMAIN = 1_024      # Zipf-skewed join attribute (the hot one)
@@ -66,16 +73,16 @@ ID_DOMAIN = 1_000_000  # wide non-join attributes keep rows distinct
 #: skew-aware plan should prefer broadcasting the cheap one.
 RELATION_MIX = (("R1", 0.05), ("R2", 0.70), ("R3", 0.25))
 IMBALANCE_THRESHOLD = 1.3
-MIN_TUPLES = 4_096
+MIN_TUPLES = max(256, int(4_096 * SCALE))
 #: Repeats per mode; the *minimum* is reported (least-noise estimate).
-REPEATS = 3
+REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
 SEED = 2024
 TARGET_SPEEDUP = 1.3
 
 # Async transport scenario: blocking delivery per chunk, on a stream prefix
 # (the overlap effect is per-chunk; a prefix keeps the benchmark quick).
-ASYNC_TUPLES = 60_000
-ASYNC_CHUNK_SIZE = 2_048
+ASYNC_TUPLES = max(2_000, int(60_000 * SCALE))
+ASYNC_CHUNK_SIZE = max(128, int(2_048 * SCALE))
 ASYNC_LATENCY_SECONDS = 0.02
 ASYNC_BUFFER_CHUNKS = 8
 

@@ -40,14 +40,17 @@ from repro.ingest.shard import ShardedIngestor
 from repro.relational.query import JoinQuery
 from repro.relational.stream import StreamTuple
 
-N_TUPLES = 50_000
-N_TUPLES_CYCLIC = 20_000
+#: CI smoke knob (see ``bench_batch_ingest.py``): shrink everything
+#: proportionally so ``make bench-smoke`` can assert execution + valid JSON.
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1"))
+N_TUPLES = max(600, int(50_000 * SCALE))
+N_TUPLES_CYCLIC = max(400, int(20_000 * SCALE))
 SAMPLE_SIZE = 1_000
 DOMAIN = 4_000
-CHUNK_SIZE = 8_192
+CHUNK_SIZE = max(128, int(8_192 * SCALE))
 NUM_SHARDS = 4
 #: Repeats per mode; the *minimum* is reported (least-noise estimate).
-REPEATS = 3
+REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
 SEED = 2024
 TARGET_SPEEDUP_SHARDED = 1.5
 TARGET_SPEEDUP_CYCLIC = 2.0

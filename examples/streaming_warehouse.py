@@ -30,19 +30,26 @@ per-shard load counters and re-partitions on a cooler attribute, replaying
 the stored state, with the merged sample staying exactly uniform
 throughout.
 
-The final section fans the *same* click stream out to two consumers with
+The fourth section fans the *same* click stream out to two consumers with
 one pass (:class:`repro.FanoutIngestor`): a freshness-tuned dashboard
 reservoir and a cyclic-pattern analytics sampler.  The stream is the
 expensive resource — transport, decoding, chunking — so it is paid once;
 each backend's reservoir is bit-identical to what a standalone run under
 its derived seed would have produced.
 
+The final section makes the pipeline *durable*: the ingestor checkpoints
+every few chunks (``BatchIngestor.save``), the process "crashes", and
+``BatchIngestor.restore`` resumes in its place — finishing with a reservoir
+bit-identical to a run that never crashed.
+
 Run it with:  python examples/streaming_warehouse.py
 """
 
 from __future__ import annotations
 
+import os
 import random
+import tempfile
 from collections import Counter
 
 from repro import (
@@ -57,6 +64,7 @@ from repro import (
     StreamTuple,
     SymmetricHashJoinSampler,
 )
+from repro.ingest import chunked
 from repro.workloads import tpcds
 
 #: Micro-batch size of the simulated warehouse feed.  Analytics consumers
@@ -223,6 +231,54 @@ def main() -> None:
     BatchIngestor(standalone, chunk_size=CHUNK_SIZE).ingest(clicks)
     identical = fan.backend("dashboard").sample == standalone.sample
     print(f"  dashboard == standalone rerun:     {identical}")
+
+    # ------------------------------------------------------------------ #
+    # Durability: interval checkpointing and crash recovery
+    # ------------------------------------------------------------------ #
+    # A warehouse feed has no end, but the process ingesting it does —
+    # deploys, rescheduling, crashes.  Checkpoint at chunk boundaries (the
+    # uniformity points) every CHECKPOINT_EVERY chunks; after a crash,
+    # restore() resumes in a fresh process with the same reservoir, the same
+    # RNG stream and the same counters, so the result is bit-identical to a
+    # run that never crashed.
+    checkpoint_path = os.path.join(tempfile.mkdtemp(), "warehouse.ckpt")
+    durable_chunk = 128  # finer micro-batches: more boundaries to save at
+    chunks = list(chunked(stream, durable_chunk))
+    CHECKPOINT_EVERY = max(1, len(chunks) // 8)
+
+    durable = BatchIngestor(
+        ReservoirJoin(query, k=500, rng=random.Random(31), foreign_key=True),
+        chunk_size=durable_chunk,
+    )
+    crash_at = len(chunks) * 2 // 3
+    checkpoints_written = 0
+    for position, chunk in enumerate(chunks[:crash_at]):
+        durable.ingest_batch(chunk)
+        if (position + 1) % CHECKPOINT_EVERY == 0:
+            durable.save(checkpoint_path)
+            checkpoints_written += 1
+    del durable  # the crash: the in-memory ingestor is gone
+
+    recovered = BatchIngestor.restore(checkpoint_path)
+    resume_from = recovered.batches_ingested  # chunks already in the checkpoint
+    for chunk in chunks[resume_from:]:
+        recovered.ingest_batch(chunk)
+
+    reference = BatchIngestor(
+        ReservoirJoin(query, k=500, rng=random.Random(31), foreign_key=True),
+        chunk_size=durable_chunk,
+    ).ingest(stream)
+
+    print(f"\ninterval checkpointing (every {CHECKPOINT_EVERY} chunks, "
+          f"{checkpoints_written} checkpoints, crash after chunk {crash_at}):")
+    print(f"  checkpoint size on disk:           "
+          f"{os.path.getsize(checkpoint_path):,} bytes")
+    print(f"  chunks replayed after restore:     {len(chunks) - resume_from}")
+    bit_identical = (
+        recovered.sampler.sample == reference.sampler.sample
+        and recovered.sampler.statistics() == reference.sampler.statistics()
+    )
+    print(f"  recovered == uninterrupted run:    {bit_identical}")
 
 
 if __name__ == "__main__":

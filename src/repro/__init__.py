@@ -65,6 +65,12 @@ Two orthogonal add-ons compose with the sharded and fan-out modes:
   included).  Choose it when the stream source itself blocks (network,
   pagination) and would otherwise serialise with ingestion.
 
+Long-running streams are durable: ``BatchIngestor``, ``ShardedIngestor``
+and ``FanoutIngestor`` expose ``save(path)`` / ``restore(path)`` — a
+versioned, checksummed checkpoint (reservoirs, stored relation state, exact
+RNG state) from which a fresh process resumes *bit-identically* to an
+uninterrupted run (see :mod:`repro.ingest.checkpoint`).
+
 All modes draw from exactly the same join-result distribution;
 ``chunk_size=1`` makes the batched mode degenerate to per-tuple semantics.
 
@@ -83,6 +89,13 @@ from .core.batch_reservoir import BatchedPredicateReservoir
 from .core.reservoir_join import ReservoirJoin
 from .core.backend import SamplerBackend
 from .ingest.batch import BatchIngestor
+from .ingest.checkpoint import (
+    CheckpointCodec,
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointMismatchError,
+    CheckpointVersionError,
+)
 from .ingest.engine import IngestionEngine
 from .ingest.fanout import FanoutIngestor
 from .ingest.pipeline import AsyncIngestor
@@ -116,6 +129,11 @@ __all__ = [
     "RebalancingIngestor",
     "SkewMonitor",
     "AsyncIngestor",
+    "CheckpointCodec",
+    "CheckpointError",
+    "CheckpointCorruptError",
+    "CheckpointVersionError",
+    "CheckpointMismatchError",
     "DynamicJoinIndex",
     "TwoTableIndex",
     "ForeignKeyCombiner",

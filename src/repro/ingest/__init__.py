@@ -44,9 +44,22 @@ Anything that can hand chunks of
 in the fast path; every mode preserves the same guarantee — the reservoir
 is an exactly uniform sample without replacement of the join results of the
 stream prefix at every chunk boundary.
+
+Chunk boundaries are also the durability points: the engine-backed
+ingestors checkpoint (``save(path)``) and restore (``Ingestor.restore``)
+through the versioned file format of :mod:`repro.ingest.checkpoint`, with
+bit-identical resumption — the restored run consumes exactly the random
+stream an uninterrupted run would have.
 """
 
 from .batch import BatchIngestor, chunked
+from .checkpoint import (
+    CheckpointCodec,
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointMismatchError,
+    CheckpointVersionError,
+)
 from .engine import DEFAULT_CHUNK_SIZE, EngineLane, IngestionEngine
 from .fanout import FanoutIngestor
 from .pipeline import AsyncIngestor
@@ -64,6 +77,11 @@ __all__ = [
     "RebalancingIngestor",
     "SkewMonitor",
     "AsyncIngestor",
+    "CheckpointCodec",
+    "CheckpointError",
+    "CheckpointCorruptError",
+    "CheckpointVersionError",
+    "CheckpointMismatchError",
     "partition_attribute",
     "plan_partition",
     "simulate_partition",

@@ -221,6 +221,54 @@ class IngestionEngine:
         return self
 
     # ------------------------------------------------------------------ #
+    # Durability
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> dict:
+        """The engine's resumable accounting: chunk counters, lane layout,
+        per-lane delivery counters, and the timing accumulators (the
+        critical path included).  Lane ``apply`` callables are *not*
+        captured — a restore rebuilds the lanes from restored backends and
+        then loads this state on top.
+        """
+        return {
+            "chunk_size": self.chunk_size,
+            "batches_ingested": self.batches_ingested,
+            "tuples_ingested": self.tuples_ingested,
+            "route_seconds": self.route_seconds,
+            "critical_path_seconds": self.critical_path_seconds,
+            "lane_busy_seconds": list(self.lane_busy_seconds),
+            "lanes": [
+                {
+                    "name": lane.name,
+                    "chunks_applied": lane.chunks_applied,
+                    "tuples_applied": lane.tuples_applied,
+                }
+                for lane in self.lanes
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Load a :meth:`snapshot_state` snapshot into this engine.
+
+        The lane layout must match the snapshot (same count — the lanes
+        were rebuilt from the same checkpoint), otherwise ``ValueError``.
+        """
+        if len(state["lanes"]) != len(self.lanes):
+            raise ValueError(
+                f"engine snapshot has {len(state['lanes'])} lanes, but this "
+                f"engine has {len(self.lanes)}"
+            )
+        self.chunk_size = state["chunk_size"]
+        self.batches_ingested = state["batches_ingested"]
+        self.tuples_ingested = state["tuples_ingested"]
+        self.route_seconds = state["route_seconds"]
+        self.critical_path_seconds = state["critical_path_seconds"]
+        self.lane_busy_seconds[:] = state["lane_busy_seconds"]
+        for lane, entry in zip(self.lanes, state["lanes"]):
+            lane.chunks_applied = entry["chunks_applied"]
+            lane.tuples_applied = entry["tuples_applied"]
+
+    # ------------------------------------------------------------------ #
     # Statistics
     # ------------------------------------------------------------------ #
     def statistics(self) -> dict:

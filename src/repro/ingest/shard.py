@@ -51,13 +51,14 @@ from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..core.backend import derive_seed
+from ..core.backend import derive_seed, restore_backend, snapshot_backend
 from ..core.reservoir_join import ReservoirJoin
 from ..relational.join import count_results
 from ..relational.query import JoinQuery
 from ..relational.schema import tuple_getter
 from ..relational.stream import StreamTuple, validated_items
 from .batch import DEFAULT_CHUNK_SIZE, BatchIngestor
+from .checkpoint import CODEC, CheckpointMismatchError
 from .engine import EngineLane, IngestionEngine
 
 #: Default shard count; the tentpole benchmark uses this value.
@@ -362,6 +363,19 @@ class ShardedIngestor:
     # ------------------------------------------------------------------ #
     # Ingestion
     # ------------------------------------------------------------------ #
+    def _require_live(self, operation: str) -> None:
+        """The one post-``ingest_parallel`` guard: every operation that needs
+        the live shard samplers raises the same, fully explanatory message.
+        (``merged_sample`` and ``statistics`` keep working on the frozen
+        per-shard states.)"""
+        if self._frozen is not None:
+            raise RuntimeError(
+                f"this ShardedIngestor was finalised by ingest_parallel(), "
+                f"which discards the live shard samplers; {operation} is "
+                "unavailable — build a new ingestor (merged_sample and "
+                "statistics keep working on the frozen state)"
+            )
+
     def ingest_batch(self, items: Sequence) -> int:
         """Partition one chunk across the shards and ingest every sub-chunk.
 
@@ -370,11 +384,7 @@ class ShardedIngestor:
         result sets when this returns — a chunk boundary is a safe point to
         call :meth:`merged_sample`.
         """
-        if self._frozen is not None:
-            raise RuntimeError(
-                "this ingestor was finalised by ingest_parallel(); "
-                "build a new one to ingest more"
-            )
+        self._require_live("further ingestion")
         return self._engine.ingest_batch(items)
 
     def note_chunk(self, tuples: int, deliveries: int) -> None:
@@ -450,6 +460,104 @@ class ShardedIngestor:
         return self
 
     # ------------------------------------------------------------------ #
+    # Durability
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> Dict[str, object]:
+        """The ingestor's complete resumable state: one sub-checkpoint per
+        shard lane plus the engine-level state (lane layout, partition
+        attribute, counters, critical-path accounting) and both randomness
+        sources (the master RNG state and the derived per-shard seeds).
+
+        Also the ingestor's own snapshot capability, so a sharded backend
+        registered into a fan-out checkpoints along with its host.
+        Unavailable after :meth:`ingest_parallel` (the live shard samplers
+        are discarded); requires every shard replica to be snapshot-capable
+        or picklable, which the default :class:`ReservoirJoin` replicas are.
+        """
+        self._require_live("checkpointing (save)")
+        return {
+            "query": self.query,
+            "k": self.k,
+            "num_shards": self.num_shards,
+            "chunk_size": self.chunk_size,
+            "partition_attr": self.partition_attr,
+            "shard_seeds": list(self._shard_seeds),
+            "rng": self._rng.getstate(),
+            "shards": [snapshot_backend(sampler) for sampler in self.samplers],
+            "shard_engines": [
+                ingestor._engine.snapshot_state() for ingestor in self.ingestors
+            ],
+            "engine": self._engine.snapshot_state(),
+            "counters": {
+                "tuples_ingested": self.tuples_ingested,
+                "batches_ingested": self.batches_ingested,
+                "broadcast_deliveries": self.broadcast_deliveries,
+                "relation_deliveries": dict(self.relation_deliveries),
+            },
+            "timing_incomplete": self.timing_incomplete,
+        }
+
+    def save(self, path: str) -> None:
+        """Write a checkpoint of :meth:`snapshot_state` (call at a chunk
+        boundary)."""
+        CODEC.dump(path, "sharded", self.snapshot_state())
+
+    @classmethod
+    def from_snapshot(cls, state: Dict[str, object]) -> "ShardedIngestor":
+        """Rebuild an ingestor from a :meth:`snapshot_state` snapshot."""
+        replicas = [restore_backend(record) for record in state["shards"]]
+        ingestor = cls(
+            state["query"],
+            state["k"],
+            num_shards=state["num_shards"],
+            chunk_size=state["chunk_size"],
+            partition_attr=state["partition_attr"],
+            factory=lambda shard, shard_rng: replicas[shard],
+            rng=random.Random(),
+        )
+        # The factory above returns pre-restored replicas, so the seeds the
+        # constructor derived are meaningless: load the recorded seed list
+        # and master-RNG state so merged_sample and any future replica
+        # derivation continue the checkpointed randomness exactly.
+        ingestor._shard_seeds = list(state["shard_seeds"])
+        ingestor._rng.setstate(state["rng"])
+        ingestor._engine.restore_state(state["engine"])
+        for sub, engine_state in zip(ingestor.ingestors, state["shard_engines"]):
+            sub._engine.restore_state(engine_state)
+        counters = state["counters"]
+        ingestor.tuples_ingested = counters["tuples_ingested"]
+        ingestor.batches_ingested = counters["batches_ingested"]
+        ingestor.broadcast_deliveries = counters["broadcast_deliveries"]
+        ingestor.relation_deliveries = dict(counters["relation_deliveries"])
+        # An async transport may have driven this ingestor barrier-less; the
+        # restored instance must keep suppressing the critical-path figure.
+        ingestor.timing_incomplete = state["timing_incomplete"]
+        return ingestor
+
+    @classmethod
+    def restore(cls, path: str, num_shards: Optional[int] = None) -> "ShardedIngestor":
+        """Rebuild a :meth:`save`d ingestor with its exact shard layout.
+
+        ``num_shards`` optionally asserts the expected layout: a checkpoint
+        is bound to the shard count it was written under (the hash routing
+        and every shard-local reservoir depend on it), so a mismatch raises
+        :class:`~repro.ingest.checkpoint.CheckpointMismatchError` — state is
+        never silently rehashed into a different layout.  Re-partitioning
+        is a rebalancing operation on a *live* ingestor, not a restore.
+        """
+        document = CODEC.load(path, expected_kind="sharded")
+        state = document["state"]
+        if num_shards is not None and num_shards != state["num_shards"]:
+            raise CheckpointMismatchError(
+                f"checkpoint was written with {state['num_shards']} shards "
+                f"and cannot be restored into {num_shards}; a checkpoint is "
+                "bound to its shard layout (restoring would silently rehash "
+                "every partition) — restore with the saved layout, then "
+                "re-partition through repro.ingest.rebalance"
+            )
+        return cls.from_snapshot(state)
+
+    # ------------------------------------------------------------------ #
     # Merging
     # ------------------------------------------------------------------ #
     def _states(self) -> List[_ShardState]:
@@ -515,11 +623,7 @@ class ShardedIngestor:
         :class:`~repro.core.reservoir_join.ReservoirJoin` does); unavailable
         after :meth:`ingest_parallel`, which discards the shard samplers.
         """
-        if self._frozen is not None:
-            raise RuntimeError(
-                "shard-local relation state is discarded by ingest_parallel(); "
-                "rebalancing requires serial or async ingestion"
-            )
+        self._require_live("the shard-local relation state (stored_rows)")
         rows: Dict[str, List[tuple]] = {}
         broadcast = set(self.broadcast_relations)
         for name in self.query.relation_names:

@@ -14,17 +14,51 @@ from operator import itemgetter
 from typing import Iterable, Mapping, Sequence, Tuple
 
 
+class _EmptyGetter:
+    """``row -> ()`` — the zero-position projection (picklable singleton)."""
+
+    def __call__(self, row):
+        return ()
+
+    def __reduce__(self):
+        return (_EmptyGetter, ())
+
+
+class _SingleGetter:
+    """``row -> (row[i],)`` — a one-position projection that stays a tuple.
+
+    ``operator.itemgetter(i)`` would return the bare value; this wrapper
+    keeps the tuple shape the projection contract requires.  Unlike a
+    closure it pickles, which the checkpoint subsystem's generic-pickle
+    fallback relies on (getters are cached inside schemas, relations and
+    delta plans, so they ride along with any pickled sampler).
+    """
+
+    __slots__ = ("position",)
+
+    def __init__(self, position: int) -> None:
+        self.position = position
+
+    def __call__(self, row):
+        return (row[self.position],)
+
+    def __reduce__(self):
+        return (_SingleGetter, (self.position,))
+
+
 def tuple_getter(positions: Tuple[int, ...]):
     """A fast ``row -> tuple(row[i] for i in positions)`` function.
 
     Runs at C speed (``operator.itemgetter``) for two or more positions;
-    projection hot paths resolve positions once and reuse the getter.
+    projection hot paths resolve positions once and reuse the getter.  All
+    returned getters are picklable (``itemgetter`` natively, the zero- and
+    one-position wrappers via ``__reduce__``), so objects that cache them
+    can be serialised by the checkpoint subsystem.
     """
     if not positions:
-        return lambda row: ()
+        return _EmptyGetter()
     if len(positions) == 1:
-        single = itemgetter(positions[0])
-        return lambda row: (single(row),)
+        return _SingleGetter(positions[0])
     return itemgetter(*positions)
 
 

@@ -32,6 +32,15 @@ the two properties the sharded/bulk refactor must preserve:
     check.  Fan-out is a delivery optimisation, never a distribution
     change.
 
+(e) **Checkpoint/restore resumes bit-identically.**  For every backend kind
+    — batched acyclic, cyclic, sharded, fan-out — ingesting a prefix,
+    saving a checkpoint, restoring it (through the on-disk codec) and
+    ingesting the suffix must end in exactly the state of an uninterrupted
+    run under the same seed: same reservoirs in order, same statistics,
+    same merged samples.  Durability is a transport concern, never a
+    distribution change — the restored RNG continues the exact random
+    stream the uninterrupted run consumes.
+
 Trial counts honour ``REPRO_STAT_TRIALS`` (see ``tests/conftest.py``).
 """
 
@@ -53,6 +62,8 @@ from repro import (
     SkewMonitor,
     StreamTuple,
 )
+from repro import SJoin
+from repro.ingest import chunked
 from repro.relational import Database, count_results, join_size
 from repro.stats.uniformity import result_key, uniformity_p_value
 
@@ -312,6 +323,122 @@ def test_fanout_backends_each_uniform(case_seed):
     for name in ("acyclic", "cyclic"):
         p_value = uniformity_p_value(run_backend(name), universe, TRIALS, k)
         assert p_value > P_THRESHOLD, f"fan-out {name} rejected: p={p_value:.5f}"
+
+
+# ---------------------------------------------------------------------- #
+# (e) Checkpoint at a prefix, restore, ingest the suffix — bit-identical
+# ---------------------------------------------------------------------- #
+def _chunks_of(stream: List[StreamTuple], chunk_size: int) -> List[List[StreamTuple]]:
+    return list(chunked(stream, chunk_size))
+
+
+def _drive(ingestor, chunks: List[List[StreamTuple]]) -> None:
+    for chunk in chunks:
+        ingestor.ingest_batch(chunk)
+
+
+@pytest.mark.parametrize("case_seed", [6, 27, 61])
+@pytest.mark.parametrize("kind", ["acyclic", "cyclic"])
+def test_checkpointed_batch_ingest_bit_identical(case_seed, kind, tmp_path):
+    """Prefix + save + restore + suffix == uninterrupted, for both samplers."""
+    rng = random.Random(case_seed)
+    if kind == "acyclic":
+        query, stream = random_acyclic_case(rng)
+        make = lambda: ReservoirJoin(query, 7, rng=random.Random(case_seed + 1))
+    else:
+        query, stream = random_cyclic_case(rng)
+        make = lambda: CyclicReservoirJoin(query, 7, rng=random.Random(case_seed + 1))
+    chunk_size = rng.choice([8, 17])
+    chunks = _chunks_of(stream, chunk_size)
+    cut = rng.randrange(1, len(chunks))
+
+    uninterrupted = BatchIngestor(make(), chunk_size=chunk_size)
+    _drive(uninterrupted, chunks)
+
+    interrupted = BatchIngestor(make(), chunk_size=chunk_size)
+    _drive(interrupted, chunks[:cut])
+    path = tmp_path / "ckpt"
+    interrupted.save(path)
+    resumed = BatchIngestor.restore(path)
+    _drive(resumed, chunks[cut:])
+
+    assert resumed.sampler.sample == uninterrupted.sampler.sample
+    assert resumed.sampler.statistics() == uninterrupted.sampler.statistics()
+    assert resumed.statistics() == uninterrupted.statistics()
+
+
+@pytest.mark.parametrize("case_seed", [14, 39, 73])
+def test_checkpointed_sharded_ingest_bit_identical(case_seed, tmp_path):
+    """Per-shard reservoirs, exact counts and the merged draw all continue
+    exactly through a save/restore (the master RNG state included)."""
+    rng = random.Random(case_seed)
+    query, stream = random_acyclic_case(rng)
+    chunk_size = rng.choice([8, 17])
+    num_shards = rng.choice([2, 3])
+    chunks = _chunks_of(stream, chunk_size)
+    cut = rng.randrange(1, len(chunks))
+
+    def build():
+        return ShardedIngestor(
+            query, k=6, num_shards=num_shards, chunk_size=chunk_size,
+            rng=random.Random(case_seed + 1),
+        )
+
+    uninterrupted = build()
+    _drive(uninterrupted, chunks)
+
+    interrupted = build()
+    _drive(interrupted, chunks[:cut])
+    path = tmp_path / "ckpt"
+    interrupted.save(path)
+    resumed = ShardedIngestor.restore(path)
+    _drive(resumed, chunks[cut:])
+
+    for restored, reference in zip(resumed.samplers, uninterrupted.samplers):
+        assert restored.sample == reference.sample
+        assert restored.statistics() == reference.statistics()
+    assert resumed.shard_counts() == uninterrupted.shard_counts()
+    assert resumed.shard_loads() == uninterrupted.shard_loads()
+    # The master RNG resumed exactly: the next merged draw is identical.
+    assert resumed.merged_sample() == uninterrupted.merged_sample()
+
+
+@pytest.mark.parametrize("case_seed", [22, 58])
+def test_checkpointed_fanout_bit_identical(case_seed, tmp_path):
+    """Every fan-out backend — native-snapshot samplers and pickle-fallback
+    baselines alike — resumes exactly, with seeds and rejection counters
+    preserved."""
+    rng = random.Random(case_seed)
+    query, stream = random_acyclic_case(rng)
+    chunk_size = rng.choice([8, 17])
+    chunks = _chunks_of(stream, chunk_size)
+    cut = rng.randrange(1, len(chunks))
+
+    def build():
+        fan = FanoutIngestor(chunk_size=chunk_size, rng=random.Random(case_seed + 1))
+        fan.register("acyclic", lambda r: ReservoirJoin(query, 6, rng=r))
+        fan.register("cyclic", lambda r: CyclicReservoirJoin(query, 5, rng=r))
+        fan.register("baseline", lambda r: SJoin(query, 5, rng=r))
+        return fan
+
+    uninterrupted = build()
+    _drive(uninterrupted, chunks)
+
+    interrupted = build()
+    _drive(interrupted, chunks[:cut])
+    path = tmp_path / "ckpt"
+    interrupted.save(path)
+    resumed = FanoutIngestor.restore(path)
+    _drive(resumed, chunks[cut:])
+
+    assert resumed.backend_names == uninterrupted.backend_names
+    for name in resumed.backend_names:
+        assert resumed.backend_seed(name) == uninterrupted.backend_seed(name), name
+        assert resumed.backend(name).sample == uninterrupted.backend(name).sample, name
+        assert (
+            resumed.backend(name).statistics()
+            == uninterrupted.backend(name).statistics()
+        ), name
 
 
 # ---------------------------------------------------------------------- #

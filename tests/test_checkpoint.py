@@ -1,0 +1,299 @@
+"""Checkpoint/restore: codec round-trips, failure modes, resumption guards.
+
+The statistical half of the story — bit-identical resumption for every
+backend kind — lives in property-harness section (e) of
+``tests/statistical/test_properties.py``.  This module covers the
+deterministic seam: the file format (truncation, corruption, version and
+kind mismatches), the shard-layout guard, the backend capability probe, and
+the post-``ingest_parallel`` finalisation UX.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import random
+from typing import List
+
+import pytest
+
+from repro import (
+    BatchIngestor,
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointMismatchError,
+    CheckpointVersionError,
+    CyclicReservoirJoin,
+    FanoutIngestor,
+    JoinQuery,
+    ReservoirJoin,
+    ShardedIngestor,
+    StreamTuple,
+)
+from repro.core.backend import probe_backend, restore_backend, snapshot_backend
+from repro.baselines.sjoin import SJoin
+from repro.ingest.checkpoint import CODEC, FORMAT_VERSION, MAGIC, CheckpointCodec
+
+
+def chain3() -> JoinQuery:
+    return JoinQuery.from_spec(
+        "chain-3", {"R1": ["x1", "x2"], "R2": ["x2", "x3"], "R3": ["x3", "x4"]}
+    )
+
+
+def chain3_stream(n: int, seed: int = 5, domain: int = 12) -> List[StreamTuple]:
+    rng = random.Random(seed)
+    return [
+        StreamTuple(
+            ("R1", "R2", "R3")[i % 3], (rng.randrange(domain), rng.randrange(domain))
+        )
+        for i in range(n)
+    ]
+
+
+# --------------------------------------------------------------------- #
+# Codec round-trip and file-format failure modes
+# --------------------------------------------------------------------- #
+class TestCodec:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "x.ckpt"
+        CODEC.dump(path, "batch", {"answer": 42})
+        document = CODEC.load(path)
+        assert document["kind"] == "batch"
+        assert document["state"] == {"answer": 42}
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            CODEC.load(tmp_path / "nope.ckpt")
+
+    def test_not_a_checkpoint(self, tmp_path):
+        path = tmp_path / "x.ckpt"
+        path.write_bytes(b"definitely not a checkpoint, but long enough to read")
+        with pytest.raises(CheckpointCorruptError, match="bad magic"):
+            CODEC.load(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "x.ckpt"
+        CODEC.dump(path, "batch", {"answer": 42})
+        path.write_bytes(path.read_bytes()[:20])
+        with pytest.raises(CheckpointCorruptError, match="shorter than"):
+            CODEC.load(path)
+
+    def test_truncated_payload(self, tmp_path):
+        path = tmp_path / "x.ckpt"
+        CODEC.dump(path, "batch", {"answer": 42})
+        path.write_bytes(path.read_bytes()[:-7])
+        with pytest.raises(CheckpointCorruptError, match="truncated"):
+            CODEC.load(path)
+
+    def test_corrupt_payload_fails_checksum(self, tmp_path):
+        path = tmp_path / "x.ckpt"
+        CODEC.dump(path, "batch", {"answer": 42})
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF  # flip one payload bit; length still matches
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CheckpointCorruptError, match="checksum"):
+            CODEC.load(path)
+
+    def test_version_mismatch(self, tmp_path):
+        path = tmp_path / "x.ckpt"
+        CheckpointCodec(version=FORMAT_VERSION + 7).dump(path, "batch", {})
+        with pytest.raises(CheckpointVersionError, match=str(FORMAT_VERSION + 7)):
+            CODEC.load(path)
+
+    def test_kind_mismatch(self, tmp_path):
+        path = tmp_path / "x.ckpt"
+        CODEC.dump(path, "batch", {})
+        with pytest.raises(CheckpointMismatchError, match="'batch'"):
+            CODEC.load(path, expected_kind="sharded")
+
+    def test_all_errors_are_checkpoint_errors(self):
+        for cls in (CheckpointCorruptError, CheckpointVersionError, CheckpointMismatchError):
+            assert issubclass(cls, CheckpointError)
+
+    def test_magic_is_stable(self, tmp_path):
+        # The on-disk format is a public contract: the first 8 bytes never
+        # change, or old files stop being recognisable as checkpoints.
+        path = tmp_path / "x.ckpt"
+        CODEC.dump(path, "batch", {})
+        assert path.read_bytes()[:8] == MAGIC == b"RPROCKPT"
+
+
+# --------------------------------------------------------------------- #
+# Ingestor-level restore guards
+# --------------------------------------------------------------------- #
+class TestRestoreGuards:
+    def test_batch_restore_refuses_sharded_checkpoint(self, tmp_path):
+        path = tmp_path / "s.ckpt"
+        ingestor = ShardedIngestor(chain3(), k=4, num_shards=2, rng=random.Random(1))
+        ingestor.ingest(chain3_stream(60))
+        ingestor.save(path)
+        with pytest.raises(CheckpointMismatchError):
+            BatchIngestor.restore(path)
+
+    def test_sharded_restore_refuses_different_shard_count(self, tmp_path):
+        path = tmp_path / "s.ckpt"
+        ingestor = ShardedIngestor(chain3(), k=4, num_shards=3, rng=random.Random(2))
+        ingestor.ingest(chain3_stream(60))
+        ingestor.save(path)
+        with pytest.raises(CheckpointMismatchError, match="3 shards"):
+            ShardedIngestor.restore(path, num_shards=5)
+        # The recorded layout restores fine, both implicitly and explicitly.
+        assert ShardedIngestor.restore(path).num_shards == 3
+        assert ShardedIngestor.restore(path, num_shards=3).num_shards == 3
+
+    def test_sharded_restore_preserves_timing_incomplete(self, tmp_path):
+        # An async transport drives shards barrier-less, so the live ingestor
+        # suppresses the critical-path figure; the restored one must too.
+        path = tmp_path / "s.ckpt"
+        ingestor = ShardedIngestor(chain3(), k=4, num_shards=2, rng=random.Random(19))
+        ingestor.ingest(chain3_stream(40))
+        ingestor.timing_incomplete = True
+        ingestor.save(path)
+        restored = ShardedIngestor.restore(path)
+        assert restored.timing_incomplete is True
+        assert restored.statistics()["critical_path_seconds"] is None
+
+    def test_sampler_restore_state_requires_fresh_sampler(self):
+        query = chain3()
+        sampler = ReservoirJoin(query, 4, rng=random.Random(3))
+        for item in chain3_stream(30):
+            sampler.insert(item.relation, item.row)
+        state = sampler.snapshot_state()
+        dirty = ReservoirJoin(query, 4, rng=random.Random(4))
+        dirty.insert("R1", (1, 2))
+        with pytest.raises(RuntimeError, match="freshly constructed"):
+            dirty.restore_state(state)
+
+    def test_sampler_restore_state_requires_matching_k(self):
+        query = chain3()
+        sampler = CyclicReservoirJoin(query, 4, rng=random.Random(5))
+        state = sampler.snapshot_state()
+        with pytest.raises(ValueError, match="k=4"):
+            CyclicReservoirJoin(query, 9, rng=random.Random(6)).restore_state(state)
+
+    def test_fanout_refuses_checkpoint_with_failed_backend(self, tmp_path):
+        class Exploding:
+            query = chain3()
+
+            def insert(self, relation, row):
+                raise OSError("disk on fire")
+
+        fan = FanoutIngestor(chunk_size=8, rng=random.Random(7), on_error="isolate")
+        fan.register("good", lambda rng: ReservoirJoin(chain3(), 4, rng=rng))
+        fan.add("bad", Exploding())
+        fan.ingest(chain3_stream(20))
+        assert "bad" in fan.failures
+        with pytest.raises(RuntimeError, match="failed backends"):
+            fan.save(tmp_path / "f.ckpt")
+
+
+# --------------------------------------------------------------------- #
+# Backend capability probe (native snapshot vs generic pickle fallback)
+# --------------------------------------------------------------------- #
+class TestBackendSnapshots:
+    def test_native_capability_is_probed(self):
+        sampler = ReservoirJoin(chain3(), 4, rng=random.Random(8))
+        assert probe_backend(sampler).snapshot
+        assert snapshot_backend(sampler)["codec"] == "native"
+
+    def test_pickle_fallback_for_baselines(self):
+        sampler = SJoin(chain3(), 4, rng=random.Random(9))
+        assert not probe_backend(sampler).snapshot
+        record = snapshot_backend(sampler)
+        assert record["codec"] == "pickle"
+        for item in chain3_stream(40, seed=11):
+            sampler.insert(item.relation, item.row)  # must not mutate the record
+        restored = restore_backend(record)
+        assert restored.tuples_processed == 0
+
+    def test_snapshot_is_inert_against_later_ingestion(self):
+        sampler = ReservoirJoin(chain3(), 4, rng=random.Random(10))
+        stream = chain3_stream(120, seed=12)
+        for item in stream[:60]:
+            sampler.insert(item.relation, item.row)
+        record = snapshot_backend(sampler)
+        frozen = pickle.dumps(record)
+        for item in stream[60:]:
+            sampler.insert(item.relation, item.row)
+        assert pickle.dumps(record) == frozen
+
+    def test_restored_backend_is_independent_of_the_original(self, tmp_path):
+        path = tmp_path / "b.ckpt"
+        original = BatchIngestor(
+            ReservoirJoin(chain3(), 6, rng=random.Random(13)), chunk_size=16
+        )
+        stream = chain3_stream(200, seed=14)
+        original.ingest_batch(stream[:100])
+        original.save(path)
+        restored = BatchIngestor.restore(path)
+        original.ingest_batch(stream[100:])
+        assert restored.tuples_ingested == 100
+        assert restored.sampler.index.size < original.sampler.index.size
+
+
+# --------------------------------------------------------------------- #
+# Fresh-process restore (the crash-recovery story, end to end)
+# --------------------------------------------------------------------- #
+def _resume_in_subprocess(payload):
+    path, suffix = payload
+    ingestor = BatchIngestor.restore(path)
+    ingestor.ingest(suffix)  # re-chunks at the restored chunk_size
+    return ingestor.sampler.sample, ingestor.sampler.statistics()
+
+
+class TestFreshProcessRestore:
+    def test_batch_resumes_bit_identically_in_a_worker_process(self, tmp_path):
+        query = chain3()
+        stream = chain3_stream(400, seed=15)
+        chunk = 50
+        uninterrupted = BatchIngestor(
+            ReservoirJoin(query, 8, rng=random.Random(16)), chunk_size=chunk
+        ).ingest(stream)
+
+        path = str(tmp_path / "b.ckpt")
+        interrupted = BatchIngestor(
+            ReservoirJoin(query, 8, rng=random.Random(16)), chunk_size=chunk
+        )
+        for start in range(0, 200, chunk):
+            interrupted.ingest_batch(stream[start : start + chunk])
+        interrupted.save(path)
+
+        with multiprocessing.Pool(1) as pool:
+            sample, statistics = pool.map(
+                _resume_in_subprocess, [(path, stream[200:])]
+            )[0]
+        assert sample == uninterrupted.sampler.sample
+        assert statistics == uninterrupted.sampler.statistics()
+
+
+# --------------------------------------------------------------------- #
+# Post-ingest_parallel finalisation UX: one message, every live-only op
+# --------------------------------------------------------------------- #
+class TestFinalisedUX:
+    @pytest.fixture()
+    def finalised(self):
+        ingestor = ShardedIngestor(chain3(), k=4, num_shards=2, rng=random.Random(17))
+        ingestor.ingest_parallel(chain3_stream(80, seed=18), processes=2)
+        return ingestor
+
+    def test_live_only_operations_share_one_message(self, finalised, tmp_path):
+        messages = set()
+        for operation in (
+            lambda: finalised.ingest_batch([("R1", (1, 2))]),
+            lambda: finalised.stored_rows(),
+            lambda: finalised.save(tmp_path / "s.ckpt"),
+        ):
+            with pytest.raises(RuntimeError) as excinfo:
+                operation()
+            text = str(excinfo.value)
+            assert "finalised by ingest_parallel()" in text
+            assert "build a new ingestor" in text
+            # Strip the operation-specific clause: the shared scaffold must
+            # be identical, so users see one error, not three dialects.
+            messages.add(text.split(";")[0])
+        assert len(messages) == 1
+
+    def test_frozen_state_keeps_working(self, finalised):
+        assert len(finalised.merged_sample()) > 0
+        assert finalised.statistics()["parallel"] is True

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Smoke-run the four ingestion-seam benchmarks at tiny scale.
+
+CI cannot gate on benchmark *ratios* — on a shared 1-CPU runner the
+measured speedups are noise (the bench-box convention: gate on execution,
+report ratios informationally).  What CI *can* gate on is that every
+benchmark still runs end to end and emits a well-formed ``BENCH_*.json``:
+imports resolve, streams build, samplers ingest, internal bit-identity and
+exact-count assertions hold, and the report schema the README documents is
+intact.
+
+Each benchmark is executed as a subprocess with ``REPRO_BENCH_SCALE`` (a
+proportional shrink of stream lengths and the boundary-sensitive knobs —
+default 0.02, ~60 s total) and one repeat per mode; the emitted JSON is then
+loaded and checked for its headline keys.  The BENCH files land in the
+working directory exactly as a full ``make bench`` would write them, so a CI
+job can upload them as artifacts.
+
+Usage:  python tools/bench_smoke.py [--scale 0.02]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: benchmark script -> (emitted report, keys that must be present and non-null)
+BENCHMARKS = {
+    "benchmarks/bench_batch_ingest.py": (
+        "BENCH_batch_ingest.json",
+        ("benchmark", "n_tuples", "modes", "best_speedup"),
+    ),
+    "benchmarks/bench_shard_ingest.py": (
+        "BENCH_shard_ingest.json",
+        ("benchmark", "n_tuples", "modes", "speedup", "cyclic"),
+    ),
+    "benchmarks/bench_rebalance.py": (
+        "BENCH_rebalance.json",
+        ("benchmark", "n_tuples", "modes", "speedup", "async_transport"),
+    ),
+    "benchmarks/bench_fanout.py": (
+        "BENCH_fanout.json",
+        ("benchmark", "n_tuples", "backends", "ratio_independent_over_fanout_critical"),
+    ),
+}
+
+
+def run_one(script: str, report: str, required_keys, scale: float) -> None:
+    env = dict(os.environ)
+    env["REPRO_BENCH_SCALE"] = str(scale)
+    env["REPRO_BENCH_REPEATS"] = "1"
+    env["PYTHONPATH"] = f"src{os.pathsep}{env['PYTHONPATH']}" if env.get("PYTHONPATH") else "src"
+    print(f"[bench-smoke] {script} (scale={scale}) ...", flush=True)
+    completed = subprocess.run(
+        [sys.executable, script], cwd=REPO_ROOT, env=env,
+        capture_output=True, text=True, timeout=600,
+    )
+    if completed.returncode != 0:
+        sys.stderr.write(completed.stdout)
+        sys.stderr.write(completed.stderr)
+        raise SystemExit(f"[bench-smoke] FAILED: {script} exited {completed.returncode}")
+    path = REPO_ROOT / report
+    if not path.exists():
+        raise SystemExit(f"[bench-smoke] FAILED: {script} did not emit {report}")
+    try:
+        document = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise SystemExit(f"[bench-smoke] FAILED: {report} is not valid JSON: {error}")
+    missing = [key for key in required_keys if document.get(key) is None]
+    if missing:
+        raise SystemExit(f"[bench-smoke] FAILED: {report} is missing keys {missing}")
+    print(f"[bench-smoke] ok: {report} ({path.stat().st_size} bytes)", flush=True)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale", type=float, default=0.02,
+        help="REPRO_BENCH_SCALE passed to every benchmark (default 0.02)",
+    )
+    args = parser.parse_args()
+    for script, (report, keys) in BENCHMARKS.items():
+        run_one(script, report, keys, args.scale)
+    print(f"[bench-smoke] all {len(BENCHMARKS)} seam benchmarks executed and "
+          "emitted valid JSON (ratios at this scale are informational only)")
+
+
+if __name__ == "__main__":
+    main()
