@@ -4,7 +4,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test test-smoke unit docs-check slow slow-smoke bench bench-smoke bench-fanout
+.PHONY: test test-smoke unit docs-check slow slow-smoke gauntlet gauntlet-smoke bench bench-smoke bench-fanout
 
 # The default invocation: the fast deterministic suite + executable docs.
 test: unit docs-check
@@ -31,17 +31,29 @@ slow:
 slow-smoke:
 	REPRO_STAT_TRIALS=60 python -m pytest -m slow -q
 
+# Workload gauntlet: every workload scenario through every ingestion mode,
+# each cell asserting its equivalence tier (see docs/ARCHITECTURE.md,
+# "Workload gauntlet").  Full strength / the scaled CI smoke profile
+# (REPRO_GAUNTLET_SCALE shrinks streams and chi-square trial counts
+# together; the smoke profile finishes in well under two minutes).
+gauntlet:
+	python -m pytest -m gauntlet -q
+
+gauntlet-smoke:
+	REPRO_GAUNTLET_SCALE=0.25 python -m pytest -m gauntlet -q
+
 # Ingestion-seam acceptance benchmarks (each emits BENCH_*.json in CWD).
 bench:
 	python benchmarks/bench_batch_ingest.py
 	python benchmarks/bench_shard_ingest.py
 	python benchmarks/bench_rebalance.py
 	python benchmarks/bench_fanout.py
+	python benchmarks/bench_gauntlet.py
 
 bench-fanout:
 	python benchmarks/bench_fanout.py
 
-# Tiny-N smoke of the four seam benchmarks (REPRO_BENCH_SCALE=0.02, one
+# Tiny-N smoke of the five seam benchmarks (REPRO_BENCH_SCALE=0.02, one
 # repeat): asserts each still *executes and emits valid JSON* — imports,
 # streams, internal bit-identity/exact-count assertions, report schema.  No
 # speedup thresholds: per the bench-box convention, ratios are far too noisy

@@ -85,6 +85,7 @@ from .relational.schema import KeyConstraint, RelationSchema
 from .relational.stream import StreamTuple
 from .core.reservoir import ReservoirSampler, SkipReservoirSampler
 from .core.predicate_reservoir import PredicateReservoir
+from .core.predicate_backend import PredicateStreamSampler
 from .core.batch_reservoir import BatchedPredicateReservoir
 from .core.reservoir_join import ReservoirJoin
 from .core.backend import SamplerBackend
@@ -119,6 +120,7 @@ __all__ = [
     "ReservoirSampler",
     "SkipReservoirSampler",
     "PredicateReservoir",
+    "PredicateStreamSampler",
     "BatchedPredicateReservoir",
     "ReservoirJoin",
     "SamplerBackend",

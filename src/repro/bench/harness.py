@@ -291,6 +291,19 @@ def compare_samplers(
     return results
 
 
+def measure_seconds(run: Callable[[], object]) -> tuple:
+    """Run ``run()`` and return ``(result, wall_seconds)``.
+
+    The smallest shared timing idiom: the workload gauntlet times one
+    representative run per matrix cell with it, and the benchmark scripts
+    use it wherever a run's *result* is needed alongside its wall clock
+    (``timed``-style helpers discard the result).
+    """
+    start = time.perf_counter()
+    result = run()
+    return result, time.perf_counter() - start
+
+
 def percentile(values: Sequence[float], fraction: float) -> float:
     """Simple percentile (nearest-rank) used for the update-time distribution."""
     if not values:

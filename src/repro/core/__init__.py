@@ -25,6 +25,7 @@ from .skippable import (
 )
 from .reservoir import ReservoirSampler, SkipReservoirSampler, geometric_skip
 from .predicate_reservoir import PredicateReservoir, expected_stop_bound
+from .predicate_backend import PredicateStreamSampler
 from .batch_reservoir import BatchedPredicateReservoir
 from .reservoir_join import ReservoirJoin
 from . import density
@@ -47,6 +48,7 @@ __all__ = [
     "SkipReservoirSampler",
     "geometric_skip",
     "PredicateReservoir",
+    "PredicateStreamSampler",
     "expected_stop_bound",
     "BatchedPredicateReservoir",
     "ReservoirJoin",

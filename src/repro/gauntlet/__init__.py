@@ -1,0 +1,52 @@
+"""The workload gauntlet: end-to-end scenario conformance across every mode.
+
+The engine's guarantees were proven mode by mode on the synthetic chain-3
+query; this package proves them *end to end on every workload the repo
+owns*.  :mod:`~repro.gauntlet.scenarios` adapts each workload family —
+TPC-DS, LDBC-SNB, graph queries (acyclic and cyclic) and the
+predicate-filtered string stream — into the
+:class:`~repro.core.backend.SamplerBackend` seam, and
+:mod:`~repro.gauntlet.matrix` drives every scenario through every ingestion
+mode, asserting each cell's declared equivalence tier (bit-for-bit where
+the mode guarantees it, exact result-set + chi-square uniformity
+otherwise) into a structured pass/fail/skip report.
+
+Entry points::
+
+    from repro.gauntlet import run_gauntlet
+    report = run_gauntlet(scale=0.25)       # or REPRO_GAUNTLET_SCALE
+    assert report.passed, report.render()
+
+See ``docs/ARCHITECTURE.md`` ("Workload gauntlet") for the matrix and the
+tier definitions, and ``benchmarks/bench_gauntlet.py`` for the timed run
+that emits ``BENCH_gauntlet.json``.
+"""
+
+from .matrix import (
+    MIN_CHI_TRIALS,
+    MODES,
+    SCALE_ENV,
+    CellFailure,
+    CellResult,
+    GauntletConfig,
+    GauntletReport,
+    ModeMatrix,
+    run_gauntlet,
+)
+from .scenarios import KINDS, SCENARIO_BUILDERS, Scenario, build_scenarios
+
+__all__ = [
+    "KINDS",
+    "MODES",
+    "MIN_CHI_TRIALS",
+    "SCALE_ENV",
+    "Scenario",
+    "SCENARIO_BUILDERS",
+    "build_scenarios",
+    "CellFailure",
+    "CellResult",
+    "GauntletConfig",
+    "GauntletReport",
+    "ModeMatrix",
+    "run_gauntlet",
+]

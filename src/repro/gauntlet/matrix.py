@@ -1,0 +1,737 @@
+"""The mode matrix: drive every scenario through every ingestion mode.
+
+For each (scenario, mode) cell the runner performs the *strongest check the
+mode's contract supports* — its equivalence tier — against the scenario's
+ground-truth universe or against a reference run:
+
+``bit-identical``
+    The mode promises the same reservoir, bit for bit, as a reference
+    serial run under equal seeds and chunking: async pipelining (FIFO
+    per-lane delivery), fan-out (independently derived per-backend seeds),
+    and mid-stream checkpoint-resume (exact RNG state round trip).  The
+    cell asserts list equality of the final samples.
+
+``exact-set+chi-square``
+    The mode promises the right *distribution*, not the same bits: the
+    per-tuple baseline, batched chunking, serial sharding (hypergeometric
+    merge) and skew-aware rebalancing.  Two assertions: an over-sized
+    reservoir (``k > |universe|``) must reproduce the ground-truth result
+    set exactly, and across independently seeded trials the per-result
+    inclusion counts must pass a chi-square uniformity test
+    (``p > p_threshold``).
+
+``exact-set+determinism``
+    Parallel sharding re-chunks each shard's sub-stream, so it is not
+    bit-comparable to the serial interleaving and per-trial process pools
+    are too costly for a well-powered chi-square at smoke scale.  The cell
+    asserts the exact result set, bit-reproducibility of two same-seeded
+    parallel runs, and that the deterministic routing stores exactly the
+    per-shard loads of the serial run — the merge path itself is the one
+    already chi-square-tested by the ``sharded`` cell.
+
+Cells a mode cannot structurally host — no join query to hash-partition,
+cyclic plans where only acyclic inner ingestors can be rebuilt — are
+reported as ``skip`` with the reason, never silently dropped.
+
+Statistical power scales with ``GauntletConfig.trials``; below
+:data:`MIN_CHI_TRIALS` trials the chi-square half of a statistical cell is
+omitted (the chi-square approximation needs a floor) and the cell degrades
+to its exact-set half — how the fast unit tests exercise the machinery
+without flaky low-power statistics.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..bench.harness import measure_seconds
+from ..ingest.batch import BatchIngestor
+from ..ingest.fanout import FanoutIngestor
+from ..ingest.pipeline import AsyncIngestor
+from ..ingest.rebalance import RebalancingIngestor, SkewMonitor
+from ..ingest.shard import ShardedIngestor
+from ..stats.uniformity import result_key, uniformity_p_value
+from .scenarios import Scenario, build_scenarios
+
+#: Column order of the matrix.
+MODES = (
+    "pertuple",
+    "batched",
+    "sharded",
+    "sharded-parallel",
+    "rebalancing",
+    "async",
+    "fanout",
+    "checkpoint",
+)
+
+#: Below this many trials the chi-square approximation is too weak to gate on.
+MIN_CHI_TRIALS = 20
+
+#: Environment knob scaling scenario streams and trial counts together.
+SCALE_ENV = "REPRO_GAUNTLET_SCALE"
+
+
+@dataclass
+class GauntletConfig:
+    """Tunables of one gauntlet run (defaults are the full-strength profile)."""
+
+    k: int = 20                 # reservoir size for bit-identity cells
+    chunk_size: int = 32        # chunking shared by every chunked mode
+    num_shards: int = 3
+    trials: int = 48            # chi-square trials for statistical cells
+    parallel_trials: int = 0    # extra chi-square trials for sharded-parallel
+    p_threshold: float = 0.002  # reject uniformity below this p-value
+    seed: int = 2024
+    buffer_chunks: int = 4      # async queue depth
+    scale: float = 1.0          # informational: the scenario scale used
+
+    @classmethod
+    def for_scale(cls, scale: float) -> "GauntletConfig":
+        """The profile for a given scale: trials shrink with the streams,
+        but never below the chi-square validity floor."""
+        return cls(trials=max(MIN_CHI_TRIALS, int(48 * scale)), scale=scale)
+
+    def chi_sample_size(self, universe_size: int) -> int:
+        """Reservoir size for chi-square trials: large enough that expected
+        per-result inclusion counts stay in testable territory even for
+        big universes, small enough that a trial stays cheap."""
+        return min(universe_size, max(self.k, -(-universe_size // 8)))
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "k": self.k,
+            "chunk_size": self.chunk_size,
+            "num_shards": self.num_shards,
+            "trials": self.trials,
+            "parallel_trials": self.parallel_trials,
+            "p_threshold": self.p_threshold,
+            "seed": self.seed,
+            "buffer_chunks": self.buffer_chunks,
+            "scale": self.scale,
+        }
+
+
+@dataclass
+class CellResult:
+    """Outcome of one (scenario, mode) cell."""
+
+    scenario: str
+    mode: str
+    tier: str
+    status: str                         # "pass" | "fail" | "skip"
+    reason: Optional[str] = None        # skip reason or failure message
+    p_value: Optional[float] = None
+    serial_seconds: Optional[float] = None
+    critical_path_seconds: Optional[float] = None
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "mode": self.mode,
+            "tier": self.tier,
+            "status": self.status,
+            "reason": self.reason,
+            "p_value": self.p_value,
+            "serial_seconds": self.serial_seconds,
+            "critical_path_seconds": self.critical_path_seconds,
+            "detail": self.detail,
+        }
+
+
+class CellFailure(AssertionError):
+    """A cell's equivalence assertion failed (carries the cell context)."""
+
+
+@dataclass
+class GauntletReport:
+    """Structured outcome of a full matrix run."""
+
+    scenarios: List[Dict[str, object]]
+    modes: List[str]
+    config: Dict[str, object]
+    cells: List[CellResult]
+
+    def cell(self, scenario: str, mode: str) -> CellResult:
+        for cell in self.cells:
+            if cell.scenario == scenario and cell.mode == mode:
+                return cell
+        raise KeyError(f"no cell ({scenario!r}, {mode!r})")
+
+    def counts(self) -> Dict[str, int]:
+        counts = {"pass": 0, "fail": 0, "skip": 0}
+        for cell in self.cells:
+            counts[cell.status] += 1
+        return counts
+
+    @property
+    def passed(self) -> bool:
+        """True when no cell failed (skips are allowed, failures are not)."""
+        return self.counts()["fail"] == 0
+
+    def failures(self) -> List[CellResult]:
+        return [cell for cell in self.cells if cell.status == "fail"]
+
+    def as_dict(self) -> Dict[str, object]:
+        counts = self.counts()
+        return {
+            "scenarios": self.scenarios,
+            "modes": self.modes,
+            "config": self.config,
+            "matrix": {
+                scenario["name"]: {
+                    cell.mode: cell.as_dict()
+                    for cell in self.cells
+                    if cell.scenario == scenario["name"]
+                }
+                for scenario in self.scenarios
+            },
+            "cells_passed": counts["pass"],
+            "cells_failed": counts["fail"],
+            "cells_skipped": counts["skip"],
+        }
+
+    def render(self) -> str:
+        """A plain-text scenario×mode table (✓ pass / ✗ fail / – skip)."""
+        symbol = {"pass": "✓", "fail": "✗", "skip": "–"}
+        name_width = max(len(s["name"]) for s in self.scenarios)
+        header = " ".join(
+            [" " * name_width] + [mode.rjust(len(mode)) for mode in self.modes]
+        )
+        lines = [header]
+        for scenario in self.scenarios:
+            marks = [
+                symbol[self.cell(scenario["name"], mode).status].rjust(len(mode))
+                for mode in self.modes
+            ]
+            lines.append(" ".join([scenario["name"].ljust(name_width)] + marks))
+        counts = self.counts()
+        lines.append(
+            f"{counts['pass']} passed, {counts['fail']} failed, "
+            f"{counts['skip']} skipped"
+        )
+        return "\n".join(lines)
+
+
+class ModeMatrix:
+    """Run scenarios × modes, one differential-equivalence check per cell."""
+
+    def __init__(
+        self,
+        scenarios: Sequence[Scenario],
+        config: Optional[GauntletConfig] = None,
+        modes: Sequence[str] = MODES,
+    ) -> None:
+        unknown = [mode for mode in modes if mode not in MODES]
+        if unknown:
+            raise KeyError(f"unknown modes: {unknown}; known: {list(MODES)}")
+        self.scenarios = list(scenarios)
+        self.config = config or GauntletConfig()
+        self.modes = list(modes)
+
+    # ------------------------------------------------------------------ #
+    # Reference runs (shared by several cells)
+    # ------------------------------------------------------------------ #
+    def _run_pertuple(self, scenario: Scenario, k: int, seed: int) -> List[dict]:
+        sampler = scenario.make_sampler(k, random.Random(seed))
+        for item in scenario.stream:
+            sampler.insert(item.relation, item.row)
+        return list(sampler.sample)
+
+    def _run_batched(self, scenario: Scenario, k: int, seed: int) -> List[dict]:
+        sampler = scenario.make_sampler(k, random.Random(seed))
+        BatchIngestor(sampler, chunk_size=self.config.chunk_size).ingest(
+            scenario.stream
+        )
+        return list(sampler.sample)
+
+    def _make_sharded(self, scenario: Scenario, k: int, seed: int) -> ShardedIngestor:
+        cfg = self.config
+        kwargs = dict(
+            num_shards=cfg.num_shards,
+            chunk_size=cfg.chunk_size,
+            rng=random.Random(seed),
+        )
+        if scenario.kind == "cyclic":
+            # The default shard factory builds acyclic ReservoirJoins; cyclic
+            # queries shard through the scenario's own sampler factory.
+            kwargs["factory"] = lambda shard, rng: scenario.make_sampler(k, rng)
+        return ShardedIngestor(scenario.query, k, **kwargs)
+
+    def _run_sharded(self, scenario: Scenario, k: int, seed: int) -> List[dict]:
+        ingestor = self._make_sharded(scenario, k, seed)
+        ingestor.ingest(scenario.stream)
+        return ingestor.merged_sample(k, rng=random.Random(seed + 101))
+
+    def _run_parallel(self, scenario: Scenario, k: int, seed: int) -> List[dict]:
+        ingestor = self._make_sharded(scenario, k, seed)
+        ingestor.ingest_parallel(scenario.stream)
+        return ingestor.merged_sample(k, rng=random.Random(seed + 101))
+
+    def _make_rebalancing(
+        self, scenario: Scenario, k: int, seed: int
+    ) -> RebalancingIngestor:
+        cfg = self.config
+        # Thresholds low enough that skewed workloads actually replan on
+        # these stream lengths (the stock monitor waits for 4096 tuples).
+        return RebalancingIngestor(
+            scenario.query,
+            k,
+            num_shards=cfg.num_shards,
+            chunk_size=cfg.chunk_size,
+            monitor=SkewMonitor(
+                threshold=1.2, min_tuples=4 * cfg.chunk_size, cooldown_chunks=2
+            ),
+            rng=random.Random(seed),
+        )
+
+    def _run_rebalancing(self, scenario: Scenario, k: int, seed: int) -> List[dict]:
+        ingestor = self._make_rebalancing(scenario, k, seed)
+        ingestor.ingest(scenario.stream)
+        return ingestor.merged_sample(k, rng=random.Random(seed + 101))
+
+    # ------------------------------------------------------------------ #
+    # Cell checks
+    # ------------------------------------------------------------------ #
+    def _check_exact_set(
+        self, scenario: Scenario, run: Callable[[Scenario, int, int], List[dict]]
+    ) -> int:
+        """An over-sized reservoir must hold exactly the ground truth."""
+        oversized = scenario.universe_size + 8
+        sample = run(scenario, oversized, self.config.seed)
+        sampled = {result_key(result) for result in sample}
+        truth = {result_key(result) for result in scenario.universe}
+        if sampled != truth:
+            raise CellFailure(
+                f"exact-set mismatch: {len(sampled - truth)} spurious, "
+                f"{len(truth - sampled)} missing of {len(truth)} results"
+            )
+        return oversized
+
+    def _statistical_cell(
+        self,
+        scenario: Scenario,
+        mode: str,
+        run: Callable[[Scenario, int, int], List[dict]],
+        trials: Optional[int] = None,
+    ) -> CellResult:
+        cfg = self.config
+        trials = cfg.trials if trials is None else trials
+        chi_square = trials >= MIN_CHI_TRIALS
+        tier = "exact-set+chi-square" if chi_square else "exact-set"
+        _, seconds = measure_seconds(
+            lambda: self._check_exact_set(scenario, run)
+        )
+        detail: Dict[str, object] = {"exact_set": True}
+        p_value = None
+        if chi_square:
+            k_chi = cfg.chi_sample_size(scenario.universe_size)
+            p_value = uniformity_p_value(
+                lambda seed: run(scenario, k_chi, cfg.seed + 1 + seed),
+                scenario.universe,
+                trials,
+                k_chi,
+            )
+            detail.update({"trials": trials, "chi_k": k_chi})
+            if p_value <= cfg.p_threshold:
+                raise CellFailure(
+                    f"uniformity rejected: p={p_value:.5f} <= {cfg.p_threshold}"
+                )
+        return CellResult(
+            scenario.name, mode, tier, "pass",
+            p_value=p_value, serial_seconds=round(seconds, 4), detail=detail,
+        )
+
+    def _cell_pertuple(self, scenario: Scenario) -> CellResult:
+        return self._statistical_cell(scenario, "pertuple", self._run_pertuple)
+
+    def _cell_batched(self, scenario: Scenario) -> CellResult:
+        return self._statistical_cell(scenario, "batched", self._run_batched)
+
+    def _cell_sharded(self, scenario: Scenario) -> CellResult:
+        cell = self._statistical_cell(scenario, "sharded", self._run_sharded)
+        ingestor, seconds = measure_seconds(
+            lambda: self._make_sharded(
+                scenario, self.config.k, self.config.seed
+            ).ingest(scenario.stream)
+        )
+        statistics = ingestor.statistics()
+        cell.serial_seconds = round(seconds, 4)
+        cell.critical_path_seconds = statistics.get("critical_path_seconds")
+        cell.detail["load_imbalance"] = statistics.get("load_imbalance")
+        return cell
+
+    def _cell_parallel(self, scenario: Scenario) -> CellResult:
+        cfg = self.config
+        _, seconds = measure_seconds(
+            lambda: self._check_exact_set(scenario, self._run_parallel)
+        )
+        first = self._run_parallel(scenario, cfg.k, cfg.seed)
+        second = self._run_parallel(scenario, cfg.k, cfg.seed)
+        if first != second:
+            raise CellFailure("same-seed parallel runs are not reproducible")
+        serial = self._make_sharded(scenario, cfg.k, cfg.seed)
+        serial.ingest(scenario.stream)
+        parallel = self._make_sharded(scenario, cfg.k, cfg.seed)
+        parallel.ingest_parallel(scenario.stream)
+        if parallel.shard_loads() != serial.shard_loads():
+            raise CellFailure(
+                f"parallel routing stored {parallel.shard_loads()}, "
+                f"serial stored {serial.shard_loads()}"
+            )
+        detail: Dict[str, object] = {
+            "exact_set": True,
+            "deterministic": True,
+            "shard_loads": list(parallel.shard_loads()),
+        }
+        tier = "exact-set+determinism"
+        p_value = None
+        if cfg.parallel_trials >= MIN_CHI_TRIALS:
+            tier = "exact-set+chi-square"
+            k_chi = cfg.chi_sample_size(scenario.universe_size)
+            p_value = uniformity_p_value(
+                lambda seed: self._run_parallel(scenario, k_chi, cfg.seed + 1 + seed),
+                scenario.universe,
+                cfg.parallel_trials,
+                k_chi,
+            )
+            detail.update({"trials": cfg.parallel_trials, "chi_k": k_chi})
+            if p_value <= cfg.p_threshold:
+                raise CellFailure(
+                    f"uniformity rejected: p={p_value:.5f} <= {cfg.p_threshold}"
+                )
+        return CellResult(
+            scenario.name, "sharded-parallel", tier, "pass",
+            p_value=p_value, serial_seconds=round(seconds, 4), detail=detail,
+        )
+
+    def _cell_rebalancing(self, scenario: Scenario) -> CellResult:
+        cell = self._statistical_cell(
+            scenario, "rebalancing", self._run_rebalancing
+        )
+        ingestor, seconds = measure_seconds(
+            lambda: self._make_rebalancing(
+                scenario, self.config.k, self.config.seed
+            ).ingest(scenario.stream)
+        )
+        statistics = ingestor.statistics()
+        cell.serial_seconds = round(seconds, 4)
+        cell.critical_path_seconds = statistics.get("critical_path_seconds")
+        cell.detail["rebalances"] = len(ingestor.rebalances)
+        return cell
+
+    def _cell_async(self, scenario: Scenario) -> CellResult:
+        """Async pipelining is bit-identical to the serial run it overlaps."""
+        cfg = self.config
+        detail: Dict[str, object] = {}
+        if scenario.kind == "acyclic" and scenario.query is not None:
+            # The multi-worker path: one lane per shard of a sharded target.
+            serial = self._make_sharded(scenario, cfg.k, cfg.seed)
+            serial.ingest(scenario.stream)
+
+            target = self._make_sharded(scenario, cfg.k, cfg.seed)
+
+            def run_async():
+                with AsyncIngestor(
+                    target, chunk_size=cfg.chunk_size,
+                    buffer_chunks=cfg.buffer_chunks,
+                ) as ingestor:
+                    ingestor.ingest(scenario.stream)
+                return target
+
+            _, seconds = measure_seconds(run_async)
+            piped_samples = [list(s.sample) for s in target.samplers]
+            serial_samples = [list(s.sample) for s in serial.samplers]
+            if piped_samples != serial_samples:
+                raise CellFailure("per-shard reservoirs differ from serial run")
+            merge_rng = cfg.seed + 101
+            if target.merged_sample(
+                cfg.k, rng=random.Random(merge_rng)
+            ) != serial.merged_sample(cfg.k, rng=random.Random(merge_rng)):
+                raise CellFailure("merged sample differs from serial run")
+            detail["target"] = "sharded"
+            detail["workers"] = cfg.num_shards
+        else:
+            serial_sample = self._run_batched(scenario, cfg.k, cfg.seed)
+            sampler = scenario.make_sampler(cfg.k, random.Random(cfg.seed))
+            target = BatchIngestor(sampler, chunk_size=cfg.chunk_size)
+
+            def run_async():
+                with AsyncIngestor(
+                    target, chunk_size=cfg.chunk_size,
+                    buffer_chunks=cfg.buffer_chunks,
+                ) as ingestor:
+                    ingestor.ingest(scenario.stream)
+
+            _, seconds = measure_seconds(run_async)
+            if list(sampler.sample) != serial_sample:
+                raise CellFailure("pipelined reservoir differs from serial run")
+            detail["target"] = "batched"
+            detail["workers"] = 1
+        return CellResult(
+            scenario.name, "async", "bit-identical", "pass",
+            serial_seconds=round(seconds, 4), detail=detail,
+        )
+
+    def _cell_fanout(self, scenario: Scenario) -> CellResult:
+        """Every fan-out backend is bit-identical to its standalone run."""
+        cfg = self.config
+        fan = FanoutIngestor(chunk_size=cfg.chunk_size, rng=random.Random(cfg.seed))
+        for name in ("alpha", "beta"):
+            fan.register(name, lambda rng: scenario.make_sampler(cfg.k, rng))
+        _, seconds = measure_seconds(lambda: fan.ingest(scenario.stream))
+        for name in ("alpha", "beta"):
+            standalone = scenario.make_sampler(
+                cfg.k, random.Random(fan.backend_seed(name))
+            )
+            BatchIngestor(standalone, chunk_size=cfg.chunk_size).ingest(
+                scenario.stream
+            )
+            if list(fan.backend(name).sample) != list(standalone.sample):
+                raise CellFailure(
+                    f"fan-out backend {name!r} differs from its standalone run"
+                )
+        statistics = fan.statistics()
+        return CellResult(
+            scenario.name, "fanout", "bit-identical", "pass",
+            serial_seconds=round(seconds, 4),
+            critical_path_seconds=statistics.get("critical_path_seconds"),
+            detail={"backends": 2},
+        )
+
+    def _checkpoint_boundary(self, scenario: Scenario) -> int:
+        """A mid-stream cut on a chunk boundary (the documented save point:
+        chunking-sensitive samplers resume bit-identically only there)."""
+        chunk = self.config.chunk_size
+        half_chunks = max(1, len(scenario.stream) // (2 * chunk))
+        return half_chunks * chunk
+
+    def _cell_checkpoint(self, scenario: Scenario, tmp_dir: str) -> CellResult:
+        """Save mid-stream, restore, finish: bit-identical to uninterrupted.
+
+        Sub-checks cover every durable ingestor the scenario supports, so
+        across the matrix the checkpoint column exercises all five modes.
+        """
+        cfg = self.config
+        cut = self._checkpoint_boundary(scenario)
+        head, tail = scenario.stream[:cut], scenario.stream[cut:]
+        covered: List[str] = []
+
+        def roundtrip(ingestor_cls, build, path, finished):
+            ingestor = build()
+            ingestor.ingest(head)
+            ingestor.save(path)
+            resumed = ingestor_cls.restore(path)
+            resumed.ingest(tail)
+            finished(resumed)
+
+        def check(name: str, run: Callable[[], None]) -> None:
+            run()
+            covered.append(name)
+
+        def batch_check() -> None:
+            uninterrupted = self._run_batched(scenario, cfg.k, cfg.seed)
+            path = os.path.join(tmp_dir, f"{scenario.name}-batch.ckpt")
+
+            def finished(resumed: BatchIngestor) -> None:
+                if list(resumed.sampler.sample) != uninterrupted:
+                    raise CellFailure("batch checkpoint-resume diverged")
+
+            roundtrip(
+                BatchIngestor,
+                lambda: BatchIngestor(
+                    scenario.make_sampler(cfg.k, random.Random(cfg.seed)),
+                    chunk_size=cfg.chunk_size,
+                ),
+                path,
+                finished,
+            )
+
+        def fanout_check() -> None:
+            reference = FanoutIngestor(
+                chunk_size=cfg.chunk_size, rng=random.Random(cfg.seed)
+            )
+            reference.register("alpha", lambda rng: scenario.make_sampler(cfg.k, rng))
+            reference.ingest(scenario.stream)
+            path = os.path.join(tmp_dir, f"{scenario.name}-fanout.ckpt")
+
+            def build() -> FanoutIngestor:
+                fan = FanoutIngestor(
+                    chunk_size=cfg.chunk_size, rng=random.Random(cfg.seed)
+                )
+                fan.register("alpha", lambda rng: scenario.make_sampler(cfg.k, rng))
+                return fan
+
+            def finished(resumed: FanoutIngestor) -> None:
+                if list(resumed.backend("alpha").sample) != list(
+                    reference.backend("alpha").sample
+                ):
+                    raise CellFailure("fanout checkpoint-resume diverged")
+
+            roundtrip(FanoutIngestor, build, path, finished)
+
+        def sharded_check() -> None:
+            reference = self._make_sharded(scenario, cfg.k, cfg.seed)
+            reference.ingest(scenario.stream)
+            path = os.path.join(tmp_dir, f"{scenario.name}-sharded.ckpt")
+
+            def finished(resumed: ShardedIngestor) -> None:
+                if [list(s.sample) for s in resumed.samplers] != [
+                    list(s.sample) for s in reference.samplers
+                ]:
+                    raise CellFailure("sharded checkpoint-resume diverged")
+
+            roundtrip(
+                ShardedIngestor,
+                lambda: self._make_sharded(scenario, cfg.k, cfg.seed),
+                path,
+                finished,
+            )
+
+        def rebalancing_check() -> None:
+            reference = self._make_rebalancing(scenario, cfg.k, cfg.seed)
+            reference.ingest(scenario.stream)
+            merge_rng = cfg.seed + 101
+            path = os.path.join(tmp_dir, f"{scenario.name}-rebalancing.ckpt")
+
+            def finished(resumed: RebalancingIngestor) -> None:
+                # RebalanceEvents embed wall-clock planning/replay timings, so
+                # the event *lists* never reproduce — the samples and the
+                # number of replans must.
+                if len(resumed.rebalances) != len(reference.rebalances):
+                    raise CellFailure("rebalance count diverged across resume")
+                if resumed.merged_sample(
+                    cfg.k, rng=random.Random(merge_rng)
+                ) != reference.merged_sample(cfg.k, rng=random.Random(merge_rng)):
+                    raise CellFailure("rebalancing checkpoint-resume diverged")
+
+            roundtrip(
+                RebalancingIngestor,
+                lambda: self._make_rebalancing(scenario, cfg.k, cfg.seed),
+                path,
+                finished,
+            )
+
+        def async_check() -> None:
+            serial = self._run_batched(scenario, cfg.k, cfg.seed)
+            path = os.path.join(tmp_dir, f"{scenario.name}-async.ckpt")
+            first = AsyncIngestor(
+                BatchIngestor(
+                    scenario.make_sampler(cfg.k, random.Random(cfg.seed)),
+                    chunk_size=cfg.chunk_size,
+                ),
+                chunk_size=cfg.chunk_size,
+                buffer_chunks=cfg.buffer_chunks,
+            )
+            with first:
+                first.ingest(head)
+                first.save(path)  # draining snapshot at a chunk boundary
+            resumed = AsyncIngestor.restore(path)
+            with resumed:
+                resumed.ingest(tail)
+            if list(resumed.target.sampler.sample) != serial:
+                raise CellFailure("async checkpoint-resume diverged")
+
+        check("batch", batch_check)
+        check("fanout", fanout_check)
+        check("async", async_check)
+        if scenario.kind == "acyclic" and scenario.query is not None:
+            check("sharded", sharded_check)
+            check("rebalancing", rebalancing_check)
+        return CellResult(
+            scenario.name, "checkpoint", "bit-identical", "pass",
+            detail={"covered": covered, "cut_at_tuple": cut},
+        )
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+    def _skip_reason(self, scenario: Scenario, mode: str) -> Optional[str]:
+        partitioned = ("sharded", "sharded-parallel", "rebalancing")
+        if mode in partitioned and scenario.query is None:
+            return "no join query to hash-partition (predicate stream)"
+        if mode == "sharded-parallel" and scenario.kind == "cyclic":
+            return "process-parallel sharding requires the default acyclic factory"
+        if mode == "rebalancing" and scenario.kind == "cyclic":
+            return "rebalancer rebuilds acyclic inner ingestors only"
+        return None
+
+    def run_cell(self, scenario: Scenario, mode: str, tmp_dir: str) -> CellResult:
+        reason = self._skip_reason(scenario, mode)
+        if reason is not None:
+            return CellResult(scenario.name, mode, "n/a", "skip", reason=reason)
+        dispatch = {
+            "pertuple": self._cell_pertuple,
+            "batched": self._cell_batched,
+            "sharded": self._cell_sharded,
+            "sharded-parallel": self._cell_parallel,
+            "rebalancing": self._cell_rebalancing,
+            "async": self._cell_async,
+            "fanout": self._cell_fanout,
+        }
+        try:
+            if mode == "checkpoint":
+                return self._cell_checkpoint(scenario, tmp_dir)
+            return dispatch[mode](scenario)
+        except CellFailure as failure:
+            return CellResult(
+                scenario.name, mode, "n/a", "fail", reason=str(failure)
+            )
+        except Exception:
+            return CellResult(
+                scenario.name, mode, "n/a", "fail",
+                reason=traceback.format_exc(limit=3),
+            )
+
+    def run(self, tmp_dir: Optional[str] = None) -> GauntletReport:
+        """Run every cell; never raises — failures land in the report."""
+        import tempfile
+
+        cells: List[CellResult] = []
+        with tempfile.TemporaryDirectory() as fallback:
+            directory = tmp_dir or fallback
+            for scenario in self.scenarios:
+                for mode in self.modes:
+                    cells.append(self.run_cell(scenario, mode, directory))
+        return GauntletReport(
+            scenarios=[scenario.summary() for scenario in self.scenarios],
+            modes=self.modes,
+            config=self.config.as_dict(),
+            cells=cells,
+        )
+
+
+def run_gauntlet(
+    scale: Optional[float] = None,
+    names: Optional[Sequence[str]] = None,
+    modes: Sequence[str] = MODES,
+    config: Optional[GauntletConfig] = None,
+) -> GauntletReport:
+    """Build the scenarios and run the full matrix.
+
+    ``scale`` defaults to the ``REPRO_GAUNTLET_SCALE`` environment variable
+    (1.0 when unset) — the single knob the CI smoke profile turns.
+    """
+    if scale is None:
+        scale = float(os.environ.get(SCALE_ENV, "1"))
+    scenarios = build_scenarios(scale, names)
+    matrix = ModeMatrix(scenarios, config or GauntletConfig.for_scale(scale), modes)
+    return matrix.run()
+
+
+__all__ = [
+    "MODES",
+    "MIN_CHI_TRIALS",
+    "SCALE_ENV",
+    "GauntletConfig",
+    "CellResult",
+    "CellFailure",
+    "GauntletReport",
+    "ModeMatrix",
+    "run_gauntlet",
+]

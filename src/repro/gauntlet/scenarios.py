@@ -1,0 +1,304 @@
+"""The scenario registry: every realistic workload, adapted to the seam.
+
+A :class:`Scenario` packages one workload — a query (or predicate), a
+reproducibly generated stream, a sampler factory conforming to the
+:class:`~repro.core.backend.SamplerBackend` protocol, and the ground-truth
+result universe — in exactly the shape the :mod:`~repro.gauntlet.matrix`
+runner needs to drive it through every ingestion mode and check the mode's
+equivalence tier against the truth.
+
+Six scenarios cover the repo's three workload families:
+
+========================  =========  ==========================================
+scenario                  kind       source
+========================  =========  ==========================================
+``tpcds-qx``              acyclic    :mod:`repro.workloads.tpcds` query QX
+``tpcds-qy``              acyclic    :mod:`repro.workloads.tpcds` query QY
+``ldbc-q10``              acyclic    :mod:`repro.workloads.ldbc` BI query 10
+``graph-star3``           acyclic    :mod:`repro.workloads.graph` star query
+``graph-triangle``        cyclic     :mod:`repro.workloads.graph` triangle
+``strings-predicate``     predicate  :mod:`repro.workloads.strings` streams
+========================  =========  ==========================================
+
+``kind`` determines which modes structurally apply (see
+:data:`~repro.gauntlet.matrix.MODES`): cyclic queries shard only through a
+custom per-shard factory and cannot rebalance (the rebalancer rebuilds
+acyclic inner ingestors), and the predicate scenario has no join query to
+hash-partition at all.
+
+Every builder takes a ``scale`` knob (default 1.0) that shrinks the stream
+proportionally — ``REPRO_GAUNTLET_SCALE`` flows through
+:func:`build_scenarios` so the CI smoke profile runs the same scenarios,
+smaller.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.predicate_backend import PredicateStreamSampler
+from ..core.reservoir_join import ReservoirJoin
+from ..cyclic.cyclic_join import CyclicReservoirJoin
+from ..relational.database import Database
+from ..relational.join import join_results
+from ..relational.query import JoinQuery
+from ..relational.stream import StreamTuple
+from ..workloads import graph, ldbc, strings, tpcds
+
+#: Kinds a scenario can declare; the matrix keys structural skips off these.
+KINDS = ("acyclic", "cyclic", "predicate")
+
+
+@dataclass
+class Scenario:
+    """One workload, adapted into the ingestion seam.
+
+    Attributes
+    ----------
+    name:
+        Registry key, also the row label of the gauntlet matrix.
+    kind:
+        ``"acyclic"`` | ``"cyclic"`` | ``"predicate"`` — which sampler family
+        hosts the workload, and hence which modes structurally apply.
+    query:
+        The join query, or ``None`` for the predicate scenario.
+    stream:
+        The full tuple stream, generated once per scenario build so every
+        mode and every trial replays the *same* input.
+    make_sampler:
+        ``(k, rng) -> SamplerBackend`` — a fresh, independently seeded
+        sampler for the workload.  Statistical trials call it once per seed.
+    universe:
+        Ground truth: the exhaustive join results (or predicate-passing
+        items) after the whole stream — what exact-set and chi-square cells
+        compare against.
+    invariants:
+        The equivalence tiers the workload expects its cells to assert —
+        documentation surfaced into reports, not control flow.
+    description:
+        One line for reports and docs.
+    """
+
+    name: str
+    kind: str
+    query: Optional[JoinQuery]
+    stream: List[StreamTuple]
+    make_sampler: Callable[[int, random.Random], object]
+    universe: List[Dict[str, object]] = field(repr=False)
+    invariants: Tuple[str, ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown scenario kind {self.kind!r}")
+        if not self.universe:
+            raise ValueError(
+                f"scenario {self.name!r} has an empty result universe — "
+                "uniformity over nothing is vacuous; grow the stream"
+            )
+
+    @property
+    def universe_size(self) -> int:
+        return len(self.universe)
+
+    def summary(self) -> Dict[str, object]:
+        """Reporting row: everything but the bulky stream/universe bodies."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "query": self.query.name if self.query is not None else None,
+            "stream_tuples": len(self.stream),
+            "universe_size": self.universe_size,
+            "invariants": list(self.invariants),
+            "description": self.description,
+        }
+
+
+def _join_universe(query: JoinQuery, stream: Sequence[StreamTuple]) -> List[Dict[str, object]]:
+    """Exhaustive join results of the fully loaded stream (the ground truth)."""
+    database = Database(query)
+    for item in stream:
+        database.insert(item.relation, item.row)
+    return join_results(query, database)
+
+
+JOIN_INVARIANTS = ("uniform", "exact-set", "bit-identity", "checkpoint-resume")
+
+
+def _join_scenario(
+    name: str,
+    kind: str,
+    query: JoinQuery,
+    stream: List[StreamTuple],
+    description: str,
+) -> Scenario:
+    if kind == "cyclic":
+        def make_sampler(k: int, rng: random.Random):
+            return CyclicReservoirJoin(query, k, rng=rng)
+    else:
+        def make_sampler(k: int, rng: random.Random):
+            return ReservoirJoin(query, k, rng=rng)
+
+    return Scenario(
+        name=name,
+        kind=kind,
+        query=query,
+        stream=stream,
+        make_sampler=make_sampler,
+        universe=_join_universe(query, stream),
+        invariants=JOIN_INVARIANTS,
+        description=description,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Builders (one per scenario; all reproducible from an explicit seed)
+# ---------------------------------------------------------------------- #
+def tpcds_qx(scale: float = 1.0, seed: int = 11) -> Scenario:
+    rng = random.Random(seed)
+    data = tpcds.generate(0.12 * scale, rng)
+    query, stream = tpcds.qx_workload(data, rng)
+    return _join_scenario(
+        "tpcds-qx", "acyclic", query, stream,
+        "TPC-DS QX: store sales joined with customer and demographics",
+    )
+
+
+def tpcds_qy(scale: float = 1.0, seed: int = 12) -> Scenario:
+    rng = random.Random(seed)
+    data = tpcds.generate(0.12 * scale, rng)
+    query, stream = tpcds.qy_workload(data, rng)
+    return _join_scenario(
+        "tpcds-qy", "acyclic", query, stream,
+        "TPC-DS QY: store and catalog sales correlated through shared items",
+    )
+
+
+def ldbc_q10(scale: float = 1.0, seed: int = 13) -> Scenario:
+    rng = random.Random(seed)
+    data = ldbc.generate(0.1 * scale, rng)
+    query, stream = ldbc.q10_workload(data, rng)
+    return _join_scenario(
+        "ldbc-q10", "acyclic", query, stream,
+        "LDBC-SNB BI query 10: person-knows-person with message activity",
+    )
+
+
+def graph_star3(scale: float = 1.0, seed: int = 14) -> Scenario:
+    rng = random.Random(seed)
+    query = graph.star_query(3)
+    stream = graph.graph_workload(
+        query, max(30, int(50 * scale)), rng, model="uniform"
+    )
+    return _join_scenario(
+        "graph-star3", "acyclic", query, stream,
+        "3-arm star join over a uniform random edge stream",
+    )
+
+
+def graph_triangle(scale: float = 1.0, seed: int = 15) -> Scenario:
+    rng = random.Random(seed)
+    query = graph.triangle_query()
+    stream = graph.graph_workload(
+        query, max(60, int(220 * scale)), rng, model="uniform"
+    )
+    return _join_scenario(
+        "graph-triangle", "cyclic", query, stream,
+        "Triangle counting join (cyclic; GHD-based sampler)",
+    )
+
+
+class TaggedPredicate:
+    """Evaluate an inner predicate on the string of a ``(position, string)``
+    pair.
+
+    The gauntlet streams strings tagged with their stream position: the
+    reservoir guarantee is uniformity over *positions*, and perturbed
+    streams contain duplicate strings (a zero-edit perturbation IS the
+    query string), which would otherwise fold distinct positions into one
+    chi-square bucket and wrongly reject.  Module-level and
+    delegating, so it stays picklable for the checkpoint cells and keeps
+    the inner evaluation counter observable.
+    """
+
+    def __init__(self, inner: strings.EditDistancePredicate) -> None:
+        self.inner = inner
+
+    def __call__(self, tagged: Tuple[int, str]) -> bool:
+        return self.inner(tagged[1])
+
+    @property
+    def evaluations(self) -> int:
+        return self.inner.evaluations
+
+
+def strings_predicate(scale: float = 1.0, seed: int = 16) -> Scenario:
+    rng = random.Random(seed)
+    items, query_string, predicate = strings.string_stream(
+        max(160, int(420 * scale)), 0.3, rng
+    )
+    tagged = list(enumerate(items))
+    stream = [StreamTuple("S", (pair,)) for pair in tagged]
+    universe = [{"item": pair} for pair in tagged if predicate(pair[1])]
+
+    def make_sampler(k: int, sampler_rng: random.Random) -> PredicateStreamSampler:
+        # A fresh predicate per sampler keeps the evaluation counters of
+        # concurrent trials independent.
+        return PredicateStreamSampler(
+            k,
+            TaggedPredicate(
+                strings.EditDistancePredicate(query_string, predicate.threshold)
+            ),
+            rng=sampler_rng,
+        )
+
+    return Scenario(
+        name="strings-predicate",
+        kind="predicate",
+        query=None,
+        stream=stream,
+        make_sampler=make_sampler,
+        universe=universe,
+        invariants=("uniform", "exact-set", "bit-identity", "checkpoint-resume"),
+        description="Edit-distance-filtered string stream (Algorithm 1 reservoir)",
+    )
+
+
+#: The registry: name → builder.  Insertion order is report order.
+SCENARIO_BUILDERS: Dict[str, Callable[..., Scenario]] = {
+    "tpcds-qx": tpcds_qx,
+    "tpcds-qy": tpcds_qy,
+    "ldbc-q10": ldbc_q10,
+    "graph-star3": graph_star3,
+    "graph-triangle": graph_triangle,
+    "strings-predicate": strings_predicate,
+}
+
+
+def build_scenarios(
+    scale: float = 1.0, names: Optional[Sequence[str]] = None
+) -> List[Scenario]:
+    """Materialise scenarios (all of them, or the given ``names``) at ``scale``."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    selected = list(SCENARIO_BUILDERS) if names is None else list(names)
+    unknown = [name for name in selected if name not in SCENARIO_BUILDERS]
+    if unknown:
+        raise KeyError(f"unknown scenarios: {unknown}; known: {list(SCENARIO_BUILDERS)}")
+    return [SCENARIO_BUILDERS[name](scale) for name in selected]
+
+
+__all__ = [
+    "KINDS",
+    "Scenario",
+    "SCENARIO_BUILDERS",
+    "build_scenarios",
+    "tpcds_qx",
+    "tpcds_qy",
+    "ldbc_q10",
+    "graph_star3",
+    "graph_triangle",
+    "strings_predicate",
+]

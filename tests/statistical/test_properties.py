@@ -32,14 +32,24 @@ the two properties the sharded/bulk refactor must preserve:
     check.  Fan-out is a delivery optimisation, never a distribution
     change.
 
-(e) **Checkpoint/restore resumes bit-identically.**  For every backend kind
-    — batched acyclic, cyclic, sharded, fan-out — ingesting a prefix,
-    saving a checkpoint, restoring it (through the on-disk codec) and
-    ingesting the suffix must end in exactly the state of an uninterrupted
-    run under the same seed: same reservoirs in order, same statistics,
-    same merged samples.  Durability is a transport concern, never a
-    distribution change — the restored RNG continues the exact random
-    stream the uninterrupted run consumes.
+(e) **Checkpoint/restore resumes bit-identically.**  For every durable
+    ingestor — batched acyclic, cyclic, sharded, fan-out, and the two
+    wrappers (skew-aware rebalancing and the draining async pipeline) —
+    ingesting a prefix, saving a checkpoint, restoring it (through the
+    on-disk codec) and ingesting the suffix must end in exactly the state
+    of an uninterrupted run under the same seed: same reservoirs in order,
+    same statistics, same merged samples.  Durability is a transport
+    concern, never a distribution change — the restored RNG continues the
+    exact random stream the uninterrupted run consumes.  (One deliberate
+    exception: ``RebalanceEvent`` records embed wall-clock planning/replay
+    timings, so event *lists* are compared by count, never by value.)
+
+(f) **Realistic workload schemas survive ``chunk_stream`` at any chunk
+    size.**  The TPC-DS and LDBC workload streams, cut at chunk sizes
+    {1, 7, 1024}, must reproduce the ground-truth result set exactly with
+    an over-sized reservoir; at ``chunk_size=1`` the batched path must be
+    *bit-identical* to per-tuple ingestion after every single tuple, on
+    each workload schema; and the small-reservoir sample must stay uniform.
 
 Trial counts honour ``REPRO_STAT_TRIALS`` (see ``tests/conftest.py``).
 """
@@ -52,6 +62,7 @@ from typing import List, Tuple
 import pytest
 
 from repro import (
+    AsyncIngestor,
     BatchIngestor,
     CyclicReservoirJoin,
     FanoutIngestor,
@@ -64,6 +75,7 @@ from repro import (
 )
 from repro import SJoin
 from repro.ingest import chunked
+from repro.workloads import ldbc, tpcds
 from repro.relational import Database, count_results, join_size
 from repro.stats.uniformity import result_key, uniformity_p_value
 
@@ -441,6 +453,85 @@ def test_checkpointed_fanout_bit_identical(case_seed, tmp_path):
         ), name
 
 
+@pytest.mark.parametrize("case_seed", [17, 41, 83])
+def test_checkpointed_rebalancing_ingest_bit_identical(case_seed, tmp_path):
+    """The rebalancing wrapper resumes exactly: monitor counters, the replay
+    window, the planning RNG and the inner sharded state all round-trip, so
+    post-restore replans fire identically and the merged draw continues the
+    exact random stream.  RebalanceEvents embed wall-clock timings, so the
+    event lists are compared by count only."""
+    rng = random.Random(case_seed)
+    query, stream = skewed_chain_case(rng)
+    chunks = _chunks_of(stream, 64)
+    cut = rng.randrange(1, len(chunks))
+
+    uninterrupted = rebalancing_ingestor(query, k=6, seed=case_seed + 1)
+    _drive(uninterrupted, chunks)
+    assert uninterrupted.rebalances, "the skewed stream must trigger a rebalance"
+
+    interrupted = rebalancing_ingestor(query, k=6, seed=case_seed + 1)
+    _drive(interrupted, chunks[:cut])
+    path = tmp_path / "ckpt"
+    interrupted.save(path)
+    resumed = RebalancingIngestor.restore(path)
+    _drive(resumed, chunks[cut:])
+
+    assert len(resumed.rebalances) == len(uninterrupted.rebalances)
+    assert resumed.plans_attempted == uninterrupted.plans_attempted
+    assert resumed.inner.partition_attr == uninterrupted.inner.partition_attr
+    for restored, reference in zip(resumed.inner.samplers, uninterrupted.inner.samplers):
+        assert restored.sample == reference.sample
+    # The restored planning/merge RNG continues exactly.
+    assert resumed.merged_sample() == uninterrupted.merged_sample()
+
+
+@pytest.mark.parametrize("case_seed", [12, 37])
+@pytest.mark.parametrize("target_kind", ["batched", "sharded"])
+def test_checkpointed_async_ingest_bit_identical(case_seed, target_kind, tmp_path):
+    """A draining AsyncIngestor snapshot resumes exactly: the checkpoint is
+    taken at a quiesced chunk boundary, the target round-trips through its
+    own snapshot capability, and the resumed pipeline ends bit-identical to
+    an uninterrupted serial run of the same target."""
+    rng = random.Random(case_seed)
+    query, stream = random_acyclic_case(rng)
+    chunk_size = rng.choice([8, 17])
+    chunks = _chunks_of(stream, chunk_size)
+    cut = rng.randrange(1, len(chunks))
+
+    def build_target():
+        if target_kind == "batched":
+            return BatchIngestor(
+                ReservoirJoin(query, 7, rng=random.Random(case_seed + 1)),
+                chunk_size=chunk_size,
+            )
+        return ShardedIngestor(
+            query, k=7, num_shards=3, chunk_size=chunk_size,
+            rng=random.Random(case_seed + 1),
+        )
+
+    def final_samples(target):
+        if target_kind == "batched":
+            return [target.sampler.sample]
+        return [sampler.sample for sampler in target.samplers]
+
+    uninterrupted = build_target()
+    _drive(uninterrupted, chunks)
+
+    interrupted = AsyncIngestor(build_target(), chunk_size=chunk_size)
+    path = tmp_path / "ckpt"
+    with interrupted:
+        for chunk in chunks[:cut]:
+            interrupted.submit(chunk)
+        interrupted.save(path)
+    resumed = AsyncIngestor.restore(path)
+    with resumed:
+        for chunk in chunks[cut:]:
+            resumed.submit(chunk)
+    assert final_samples(resumed.target) == final_samples(uninterrupted)
+    assert resumed.chunks_submitted == len(chunks)
+    assert resumed.tuples_submitted == len(stream)
+
+
 # ---------------------------------------------------------------------- #
 # (b) Cyclic bulk path ≡ per-tuple at chunk_size=1, bit for bit
 # ---------------------------------------------------------------------- #
@@ -483,3 +574,71 @@ def test_cyclic_bulk_path_uniform_on_random_cases(case_seed, chunk_size):
 
     p_value = uniformity_p_value(run_one, universe, TRIALS, k)
     assert p_value > P_THRESHOLD, f"cyclic bulk rejected: p={p_value:.5f}"
+
+
+# ---------------------------------------------------------------------- #
+# (f) Workload schemas through chunk_stream at {1, 7, 1024}
+# ---------------------------------------------------------------------- #
+WORKLOAD_BUILDERS = {
+    "tpcds-qx": lambda rng: tpcds.qx_workload(tpcds.generate(0.05, rng), rng),
+    "tpcds-qy": lambda rng: tpcds.qy_workload(tpcds.generate(0.05, rng), rng),
+    "ldbc-q10": lambda rng: ldbc.q10_workload(ldbc.generate(0.05, rng), rng),
+}
+
+WORKLOAD_CHUNK_SIZES = [1, 7, 1024]
+
+
+@pytest.mark.parametrize("workload", list(WORKLOAD_BUILDERS))
+@pytest.mark.parametrize("chunk_size", WORKLOAD_CHUNK_SIZES)
+def test_workload_through_chunk_stream_exact_set(workload, chunk_size):
+    """Chunk boundaries never change what an over-sized reservoir holds —
+    single-tuple chunks, tiny odd chunks and one-giant-chunk streams all
+    end on exactly the ground-truth result set of the workload schema."""
+    query, stream = WORKLOAD_BUILDERS[workload](random.Random(35))
+    truth = ground_truth_keys(query, stream)
+    assert len(truth) > 8, "workload instance too small to be meaningful"
+    sampler = ReservoirJoin(query, len(truth) + 5, rng=random.Random(1))
+    ingestor = BatchIngestor(sampler, chunk_size=chunk_size)
+    expected_batches = 0
+    for chunk in chunked(stream, chunk_size):
+        assert len(chunk) <= chunk_size
+        ingestor.ingest_batch(chunk)
+        expected_batches += 1
+    assert ingestor.batches_ingested == expected_batches
+    assert ingestor.tuples_ingested == len(stream)
+    assert {result_key(r) for r in sampler.sample} == truth
+
+
+@pytest.mark.parametrize("workload", list(WORKLOAD_BUILDERS))
+def test_workload_batched_bit_identical_to_pertuple_at_chunk_one(workload):
+    """On each workload schema, single-tuple ``insert_batch`` consumes the
+    same randomness as per-tuple ``insert``: same reservoir after *every*
+    stream tuple, same statistics at the end."""
+    query, stream = WORKLOAD_BUILDERS[workload](random.Random(35))
+    k = 12
+    pertuple = ReservoirJoin(query, k, rng=random.Random(7))
+    batched = ReservoirJoin(query, k, rng=random.Random(7))
+    for item in stream:
+        pertuple.insert(item.relation, item.row)
+        batched.insert_batch([item])
+        assert batched.sample == pertuple.sample
+    assert batched.statistics() == pertuple.statistics()
+
+
+@pytest.mark.parametrize("chunk_size", [7])
+def test_workload_small_reservoir_uniform_through_chunks(chunk_size):
+    """Chi-square on the cheapest workload instance: the batched reservoir
+    stays uniform over the TPC-DS QX ground truth when the stream arrives
+    in odd-sized chunks."""
+    query, stream = WORKLOAD_BUILDERS["tpcds-qx"](random.Random(35))
+    universe = ground_truth(query, stream)
+    assert len(universe) > 8
+    k = max(3, len(universe) // 8)
+
+    def run_one(seed):
+        sampler = ReservoirJoin(query, k, rng=random.Random(seed))
+        BatchIngestor(sampler, chunk_size=chunk_size).ingest(stream)
+        return sampler.sample
+
+    p_value = uniformity_p_value(run_one, universe, TRIALS, k)
+    assert p_value > P_THRESHOLD, f"workload batched rejected: p={p_value:.5f}"

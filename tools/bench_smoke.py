@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Smoke-run the four ingestion-seam benchmarks at tiny scale.
+"""Smoke-run the five ingestion-seam benchmarks at tiny scale.
 
 CI cannot gate on benchmark *ratios* — on a shared 1-CPU runner the
 measured speedups are noise (the bench-box convention: gate on execution,
@@ -47,6 +47,10 @@ BENCHMARKS = {
     "benchmarks/bench_fanout.py": (
         "BENCH_fanout.json",
         ("benchmark", "n_tuples", "backends", "ratio_independent_over_fanout_critical"),
+    ),
+    "benchmarks/bench_gauntlet.py": (
+        "BENCH_gauntlet.json",
+        ("benchmark", "scenarios", "modes", "matrix", "cells_passed"),
     ),
 }
 
