@@ -9,10 +9,14 @@ export PYTHONPATH
 # The default invocation: the fast deterministic suite + executable docs.
 test: unit docs-check
 
-# The CI smoke profile in one shot: tier-1 suite, executable docs, and the
-# statistical suites at the scaled-down REPRO_STAT_TRIALS=60 trial counts
-# (the whole thing finishes in well under three minutes).
+# The CI smoke profile in one shot: tier-1 suite, executable docs, the
+# worker-pool IPC contract on both transports, and the statistical suites
+# at the scaled-down REPRO_STAT_TRIALS=60 trial counts (the whole thing
+# finishes in well under three minutes).  The pool module already runs as
+# part of `unit`; the second pass pins the `pipe` transport fallback, which
+# the default-slab suite would otherwise never exercise end to end.
 test-smoke: unit docs-check
+	REPRO_POOL_TRANSPORT=pipe python -m pytest tests/test_pool.py tests/test_shard_ingest.py -q
 	REPRO_STAT_TRIALS=60 python -m pytest -m slow -q
 
 unit:

@@ -7,13 +7,15 @@ path, on the same chain-3 workload as ``bench_batch_ingest.py``:
   unsharded :class:`repro.BatchIngestor` fast path.  Shards share no mutable
   state, so the headline figure is the *critical path*: partitioning cost
   plus the slowest shard's ingestion time, i.e. the wall-clock of a
-  one-worker-per-shard deployment.  The single-thread serial total and — on
-  machines with more than one core — the measured ``ingest_parallel`` wall
-  clock are reported alongside, so nothing is hidden: on a single-CPU box
-  the serial sharded total is *slower* than unsharded (broadcast relations
-  are replicated per shard); the subsystem pays off exactly when the shards
+  one-worker-per-shard deployment.  The single-thread serial total and the
+  measured steady-state ``ingest_parallel`` wall clock (persistent worker
+  pool started outside the timed region; spawn cost reported separately)
+  are reported alongside, so nothing is hidden: on a single-CPU box the
+  serial sharded total is *slower* than unsharded (broadcast relations are
+  replicated per shard); the subsystem pays off exactly when the shards
   actually run in parallel.  Headline criterion: critical-path speedup
-  ≥ 1.5× with 4 shards.
+  ≥ 1.5× with 4 shards; the pool's IPC tax (parallel wall over serial
+  sharded total) should stay near 1× on a single core.
 * **Cyclic bulk** — ``CyclicReservoirJoin.insert_batch`` (grouped bag-index
   updates + whole-batch skips) against the per-tuple cyclic path on the same
   stream.  Criterion: ≥ 2×.
@@ -131,11 +133,30 @@ def run_sharded_split(query: JoinQuery, stream: List[StreamTuple]) -> Dict:
     }
 
 
-def run_sharded_parallel(query: JoinQuery, stream: List[StreamTuple]) -> float:
-    def run():
-        make_sharded(query).ingest_parallel(stream)
+def run_sharded_parallel(query: JoinQuery, stream: List[StreamTuple]) -> Dict:
+    """One steady-state parallel run through the persistent worker pool.
 
-    return timed(run)
+    The pool is started *outside* the timed region — worker spawn plus
+    replica bootstrap is a one-off cost, paid once per deployment, and is
+    reported separately as ``pool_startup_seconds`` instead of being
+    smeared into the per-stream wall clock the way the old spawn-per-call
+    ``multiprocessing.Pool`` smeared it.  The timed region covers exactly
+    what repeats per stream: routing, scatter over the reusable slabs,
+    worker ingestion, and the final drain barrier.
+    """
+    ingestor = make_sharded(query)
+    ingestor.start_pool()
+    try:
+        wall = timed(lambda: ingestor.ingest_parallel(stream))
+        stats = ingestor.statistics()
+        return {
+            "wall": wall,
+            "startup": round(ingestor.pool_startup_seconds, 4),
+            "busy": [round(b, 4) for b in stats["shard_busy_seconds"]],
+            "transport": stats["pool"]["transport"],
+        }
+    finally:
+        ingestor.close_pool(sync=False)
 
 
 # --------------------------------------------------------------------- #
@@ -168,11 +189,27 @@ def bench() -> Dict:
     probe = make_sharded(query)
     probe.ingest(stream)
     assert len(probe.merged_sample()) == min(SAMPLE_SIZE, probe.total_results())
-    splits = [run_sharded_split(query, stream) for _ in range(REPEATS)]
+    # Serial splits and parallel pool runs are interleaved so each repeat
+    # yields a *paired* (serial, parallel) measurement under the same
+    # machine conditions — the overhead ratio is taken per pair, which
+    # cancels the frequency/thermal drift that a phase-separated min-vs-min
+    # comparison mixes in.  The first pool of a process also pays one-off
+    # fork/page-fault warm-up steady state never sees; min over repeats
+    # drops it.
+    splits = []
+    parallel_runs = []
+    for _ in range(REPEATS):
+        splits.append(run_sharded_split(query, stream))
+        parallel_runs.append(run_sharded_parallel(query, stream))
     best_split = min(splits, key=lambda s: s["critical_path_seconds"])
     critical_path = best_split["critical_path_seconds"]
     serial_total = min(s["serial_total_seconds"] for s in splits)
-    parallel_wall = min(run_sharded_parallel(query, stream) for _ in range(2))
+    best_parallel = min(parallel_runs, key=lambda r: r["wall"])
+    parallel_wall = best_parallel["wall"]
+    overhead = min(
+        p["wall"] / s["serial_total_seconds"]
+        for p, s in zip(parallel_runs, splits)
+    )
 
     sharded_speedup = unsharded / critical_path
     modes = [
@@ -203,6 +240,10 @@ def bench() -> Dict:
             "tuples_per_second": round(N_TUPLES / parallel_wall),
             "speedup": round(unsharded / parallel_wall, 2),
             "cpu_count": os.cpu_count(),
+            "pool_startup_seconds": best_parallel["startup"],
+            "worker_busy_seconds": best_parallel["busy"],
+            "transport": best_parallel["transport"],
+            "overhead_over_serial_total": round(overhead, 2),
         },
     ]
 
@@ -230,11 +271,24 @@ def bench() -> Dict:
             "headline sharded figure is the critical path: partitioning cost "
             "plus the slowest shard's ingestion time — the wall-clock of a "
             f"{NUM_SHARDS}-worker deployment. The single-thread serial total "
-            "and the measured multiprocessing wall clock on this machine "
+            "and the measured parallel wall clock on this machine "
             f"(cpu_count={os.cpu_count()}) are reported unredacted alongside; "
             "on a single-CPU box the serial sharded total exceeds the "
             "unsharded time because broadcast relations are replicated per "
-            "shard."
+            "shard. sharded_parallel_wall is a steady-state measurement of "
+            "the persistent shard worker pool: the pool (one long-lived "
+            "process per shard, reusable shared-memory chunk slabs) is "
+            "started outside the timed region and its one-off spawn cost is "
+            "reported as pool_startup_seconds; the timed region is route + "
+            "scatter + worker ingestion + drain, which is what repeats per "
+            "stream. worker_busy_seconds is each worker's measured in-chunk "
+            "ingestion time, and overhead_over_serial_total is the parallel "
+            "wall divided by the serial sharded total, taken as the best of "
+            "per-repeat pairs measured back-to-back (serial and parallel "
+            "interleaved each repeat, so frequency/thermal drift cancels) — "
+            "the IPC tax, near 1x on a single CPU (workers timeshare the "
+            "core) and the number that lets >1-core machines show real "
+            "wall-clock wins."
         ),
         "cyclic": {
             "n_tuples": N_TUPLES_CYCLIC,

@@ -34,7 +34,8 @@ Every sampler supports three interchangeable ways of consuming a stream:
   Chunks are hash-partitioned on a partition attribute across independent
   per-shard sampler replicas (relations lacking the attribute are broadcast),
   so the per-chunk work parallelises across shards with no shared state —
-  ``ingest_parallel`` runs one worker process per shard.  Because every join
+  ``ingest_parallel`` feeds a persistent one-process-per-shard worker pool
+  bit-identically to the serial path.  Because every join
   result binds the partition attribute to one value, the shard-local result
   sets partition the global result set; ``merged_sample(k)`` recombines the
   shard reservoirs by exact-count-weighted subsampling into a sample that is
@@ -100,6 +101,7 @@ from .ingest.checkpoint import (
 from .ingest.engine import IngestionEngine
 from .ingest.fanout import FanoutIngestor
 from .ingest.pipeline import AsyncIngestor
+from .ingest.pool import ShardWorkerPool, WorkerCrashError
 from .ingest.rebalance import RebalancingIngestor, SkewMonitor
 from .ingest.shard import ShardedIngestor
 from .index.dynamic_index import DynamicJoinIndex
@@ -127,6 +129,8 @@ __all__ = [
     "IngestionEngine",
     "BatchIngestor",
     "ShardedIngestor",
+    "ShardWorkerPool",
+    "WorkerCrashError",
     "FanoutIngestor",
     "RebalancingIngestor",
     "SkewMonitor",

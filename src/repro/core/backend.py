@@ -208,6 +208,27 @@ def snapshot_backend(backend) -> Dict[str, object]:
     return {"codec": "pickle", "class": _class_path(backend), "state": pickle.dumps(backend)}
 
 
+def snapshot_transport(record: Dict[str, object]) -> bytes:
+    """Serialise a :func:`snapshot_backend` record for IPC transport.
+
+    The worker-pool runtime (:mod:`repro.ingest.pool`) captures backend
+    snapshots *inside* worker processes and ships them to the parent over a
+    pipe; the parent likewise ships initial replica state into freshly
+    spawned workers.  Those hops need one explicit serialisation point —
+    ``pickle`` at the highest protocol — rather than relying on whatever a
+    ``multiprocessing.Connection`` would implicitly do to a dict that may
+    itself contain pickled payloads.  The bytes round-trip exactly through
+    :func:`restore_transport`.
+    """
+    return pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def restore_transport(payload: bytes) -> Dict[str, object]:
+    """Invert :func:`snapshot_transport` (the record is *not* restored into
+    a backend — hand it to :func:`restore_backend` for that)."""
+    return pickle.loads(payload)
+
+
 def restore_backend(record: Dict[str, object]):
     """Rebuild a backend from a :func:`snapshot_backend` record.
 
@@ -301,5 +322,7 @@ __all__ = [
     "derive_seed",
     "snapshot_backend",
     "restore_backend",
+    "snapshot_transport",
+    "restore_transport",
     "PerTupleBatchMixin",
 ]

@@ -8,8 +8,11 @@ ground-truth universe or against a reference run:
     The mode promises the same reservoir, bit for bit, as a reference
     serial run under equal seeds and chunking: async pipelining (FIFO
     per-lane delivery), fan-out (independently derived per-backend seeds),
-    and mid-stream checkpoint-resume (exact RNG state round trip).  The
-    cell asserts list equality of the final samples.
+    process-parallel sharding (the persistent worker pool feeds each shard
+    replica the exact serial sub-chunk sequence from a snapshot of the
+    serial starting state), and mid-stream checkpoint-resume (exact RNG
+    state round trip).  The cell asserts list equality of the final
+    samples.
 
 ``exact-set+chi-square``
     The mode promises the right *distribution*, not the same bits: the
@@ -21,13 +24,10 @@ ground-truth universe or against a reference run:
     (``p > p_threshold``).
 
 ``exact-set+determinism``
-    Parallel sharding re-chunks each shard's sub-stream, so it is not
-    bit-comparable to the serial interleaving and per-trial process pools
-    are too costly for a well-powered chi-square at smoke scale.  The cell
-    asserts the exact result set, bit-reproducibility of two same-seeded
-    parallel runs, and that the deterministic routing stores exactly the
-    per-shard loads of the serial run — the merge path itself is the one
-    already chi-square-tested by the ``sharded`` cell.
+    Retired as of the worker-pool runtime: the ``sharded-parallel`` cell
+    that used to live here now asserts full bit-identity (see above).  The
+    tier name remains recognised so downstream tooling reading old reports
+    keeps working.
 
 Cells a mode cannot structurally host — no join query to hash-partition,
 cyclic plans where only acyclic inner ingestors can be rebuilt — are
@@ -270,8 +270,13 @@ class ModeMatrix:
 
     def _run_parallel(self, scenario: Scenario, k: int, seed: int) -> List[dict]:
         ingestor = self._make_sharded(scenario, k, seed)
-        ingestor.ingest_parallel(scenario.stream)
-        return ingestor.merged_sample(k, rng=random.Random(seed + 101))
+        try:
+            ingestor.ingest_parallel(scenario.stream)
+            return ingestor.merged_sample(k, rng=random.Random(seed + 101))
+        finally:
+            # Throwaway run: the sample is extracted, reclaim the worker
+            # processes without the state-adoption round trip.
+            ingestor.close_pool(sync=False)
 
     def _make_rebalancing(
         self, scenario: Scenario, k: int, seed: int
@@ -367,32 +372,53 @@ class ModeMatrix:
         return cell
 
     def _cell_parallel(self, scenario: Scenario) -> CellResult:
+        """Process-parallel sharding is bit-identical to the serial run.
+
+        The worker pool feeds each shard replica the exact serial
+        sub-chunk sequence from a snapshot of the serial starting state,
+        so every per-shard reservoir — and therefore the merged sample
+        under an equal merge RNG — must equal the serial run bit for bit
+        (which subsumes the old same-seed determinism check).  The
+        exact-set half and the per-shard load comparison are kept as
+        independent probes of the routing layer.
+        """
         cfg = self.config
         _, seconds = measure_seconds(
             lambda: self._check_exact_set(scenario, self._run_parallel)
         )
-        first = self._run_parallel(scenario, cfg.k, cfg.seed)
-        second = self._run_parallel(scenario, cfg.k, cfg.seed)
-        if first != second:
-            raise CellFailure("same-seed parallel runs are not reproducible")
         serial = self._make_sharded(scenario, cfg.k, cfg.seed)
         serial.ingest(scenario.stream)
         parallel = self._make_sharded(scenario, cfg.k, cfg.seed)
-        parallel.ingest_parallel(scenario.stream)
-        if parallel.shard_loads() != serial.shard_loads():
-            raise CellFailure(
-                f"parallel routing stored {parallel.shard_loads()}, "
-                f"serial stored {serial.shard_loads()}"
-            )
+        try:
+            parallel.ingest_parallel(scenario.stream)
+            statistics = parallel.statistics()
+            if parallel.shard_samples() != serial.shard_samples():
+                raise CellFailure(
+                    "per-shard reservoirs differ from the serial run"
+                )
+            merge_rng = cfg.seed + 101
+            if parallel.merged_sample(
+                cfg.k, rng=random.Random(merge_rng)
+            ) != serial.merged_sample(cfg.k, rng=random.Random(merge_rng)):
+                raise CellFailure("merged sample differs from the serial run")
+            if parallel.shard_loads() != serial.shard_loads():
+                raise CellFailure(
+                    f"parallel routing stored {parallel.shard_loads()}, "
+                    f"serial stored {serial.shard_loads()}"
+                )
+        finally:
+            parallel.close_pool(sync=False)
         detail: Dict[str, object] = {
             "exact_set": True,
-            "deterministic": True,
-            "shard_loads": list(parallel.shard_loads()),
+            "bit_identical": True,
+            "shard_loads": list(serial.shard_loads()),
+            "parallel_wall_seconds": statistics.get("parallel_wall_seconds"),
+            "pool_transport": statistics.get("pool", {}).get("transport"),
         }
-        tier = "exact-set+determinism"
         p_value = None
         if cfg.parallel_trials >= MIN_CHI_TRIALS:
-            tier = "exact-set+chi-square"
+            # Optional belt-and-braces: chi-square over independently
+            # seeded pool runs on top of the bit-identity assertion.
             k_chi = cfg.chi_sample_size(scenario.universe_size)
             p_value = uniformity_p_value(
                 lambda seed: self._run_parallel(scenario, k_chi, cfg.seed + 1 + seed),
@@ -406,8 +432,10 @@ class ModeMatrix:
                     f"uniformity rejected: p={p_value:.5f} <= {cfg.p_threshold}"
                 )
         return CellResult(
-            scenario.name, "sharded-parallel", tier, "pass",
-            p_value=p_value, serial_seconds=round(seconds, 4), detail=detail,
+            scenario.name, "sharded-parallel", "bit-identical", "pass",
+            p_value=p_value, serial_seconds=round(seconds, 4),
+            critical_path_seconds=statistics.get("critical_path_seconds"),
+            detail=detail,
         )
 
     def _cell_rebalancing(self, scenario: Scenario) -> CellResult:
@@ -652,16 +680,23 @@ class ModeMatrix:
     # Dispatch
     # ------------------------------------------------------------------ #
     def _skip_reason(self, scenario: Scenario, mode: str) -> Optional[str]:
+        # Cyclic scenarios ride sharded-parallel now: the pool ships built
+        # replica *state* (snapshot records), never the factory callable,
+        # so the custom cyclic factory no longer blocks process parallelism.
         partitioned = ("sharded", "sharded-parallel", "rebalancing")
         if mode in partitioned and scenario.query is None:
             return "no join query to hash-partition (predicate stream)"
-        if mode == "sharded-parallel" and scenario.kind == "cyclic":
-            return "process-parallel sharding requires the default acyclic factory"
         if mode == "rebalancing" and scenario.kind == "cyclic":
             return "rebalancer rebuilds acyclic inner ingestors only"
         return None
 
     def run_cell(self, scenario: Scenario, mode: str, tmp_dir: str) -> CellResult:
+        if mode not in MODES:
+            # A typo'd mode must surface as a clear error, not be swallowed
+            # into a traceback-formatted cell failure by the dispatch below.
+            raise KeyError(
+                f"unknown mode {mode!r}; known modes: {list(MODES)}"
+            )
         reason = self._skip_reason(scenario, mode)
         if reason is not None:
             return CellResult(scenario.name, mode, "n/a", "skip", reason=reason)

@@ -63,6 +63,7 @@ from .checkpoint import (
 from .engine import DEFAULT_CHUNK_SIZE, EngineLane, IngestionEngine
 from .fanout import FanoutIngestor
 from .pipeline import AsyncIngestor
+from .pool import ShardWorkerPool, WorkerCrashError
 from .rebalance import RebalancingIngestor, SkewMonitor, plan_partition, simulate_partition
 from .shard import ShardedIngestor, partition_attribute, stable_shard_hash
 
@@ -73,6 +74,8 @@ __all__ = [
     "BatchIngestor",
     "chunked",
     "ShardedIngestor",
+    "ShardWorkerPool",
+    "WorkerCrashError",
     "FanoutIngestor",
     "RebalancingIngestor",
     "SkewMonitor",

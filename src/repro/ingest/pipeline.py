@@ -26,6 +26,11 @@ Topology
   worker driving ``ingest_batch``/``insert_batch`` chunks in arrival order —
   same stream semantics as synchronous batched ingestion.  (A rebalancing
   target must be single-worker: a rebalance swaps out every shard at once.)
+  A sharded target whose :class:`~repro.ingest.pool.ShardWorkerPool` is
+  live also takes this path: its ``ingest_batch`` already scatters to the
+  worker processes, so the single thread overlaps blocking transport with
+  pool submission — async-over-pool composition, threads for transport and
+  processes for CPU, without double-driving the per-shard ingestors.
 
 Backpressure and boundaries
 ---------------------------
@@ -135,7 +140,15 @@ class AsyncIngestor:
         self._closed = False  # no further submits (closed or failed)
         self._stopped = False  # worker threads joined
         self._failure: Optional[BaseException] = None  # first worker error, sticky
-        self._sharded = isinstance(target, ShardedIngestor)
+        # A sharded target with a live worker pool already owns its own
+        # process-level parallelism and chunk pipelining: drive it through
+        # the single-worker path below (ingest_batch scatters to the pool),
+        # overlapping transport with *pool submission* instead of competing
+        # with the pool for the per-shard ingestors.  Only a pool-less
+        # sharded target gets the thread-per-shard topology.
+        self._sharded = isinstance(target, ShardedIngestor) and not getattr(
+            target, "pool_active", False
+        )
         if self._sharded:
             # The chunk-boundary barrier does not exist here (shards run
             # ahead of each other), so the target cannot measure a critical

@@ -6,10 +6,16 @@ relations); every arriving chunk is split by a stable hash of that
 attribute's value, relations that do not contain the attribute are broadcast
 to every shard, and each shard runs its own independent sampler replica over
 its share of the stream.  Shards share no mutable state, so the per-chunk
-work is embarrassingly parallel — :meth:`ShardedIngestor.ingest_parallel`
-runs one worker process per shard on multi-core machines, while the serial
-:meth:`ShardedIngestor.ingest` keeps the same semantics for deterministic,
-seedable runs.
+work is embarrassingly parallel — :meth:`ShardedIngestor.start_pool` moves
+the live shard replicas into a persistent one-process-per-shard
+:class:`~repro.ingest.pool.ShardWorkerPool` (:meth:`ShardedIngestor
+.ingest_parallel` is the one-call convenience wrapper), while the serial
+:meth:`ShardedIngestor.ingest` keeps the same semantics in-process.  The
+pool feeds every worker the exact sub-chunk sequence the serial path
+produces and each replica starts from a snapshot of the parent-side state,
+so pool-fed shards are *bit-identical* to a serial run under equal seeds —
+ingestion, ``merged_sample``, checkpointing and ``statistics`` all keep
+working against the live workers.
 
 Correctness (the merge rule)
 ----------------------------
@@ -43,8 +49,7 @@ default replica uses the same ``k``).
 from __future__ import annotations
 
 import hashlib
-import multiprocessing
-import os
+import itertools
 import random
 import time
 from bisect import bisect_right
@@ -60,6 +65,7 @@ from ..relational.stream import StreamTuple, validated_items
 from .batch import DEFAULT_CHUNK_SIZE, BatchIngestor
 from .checkpoint import CODEC, CheckpointMismatchError
 from .engine import EngineLane, IngestionEngine
+from .pool import ShardWorkerPool, WorkerCrashError  # noqa: F401 (re-export)
 
 #: Default shard count; the tentpole benchmark uses this value.
 DEFAULT_NUM_SHARDS = 4
@@ -145,21 +151,6 @@ class _ShardState:
     statistics: Dict[str, object] = field(default_factory=dict)
 
 
-def _ingest_shard_worker(payload) -> Tuple[List[dict], int, int, Dict[str, object]]:
-    """One shard's full ingestion, run in a worker process.
-
-    Builds the default replica from a picklable spec, drives the shard's
-    sub-stream through the batched fast path, and returns exactly the state
-    the parent needs for merging — the reservoir, the exact local result
-    count, the capacity, and the replica's statistics.
-    """
-    name, spec, keys, k, seed, chunk_size, pairs = payload
-    query = JoinQuery.from_spec(name, spec, keys=keys or None)
-    sampler = ReservoirJoin(query, k, rng=random.Random(seed))
-    BatchIngestor(sampler, chunk_size=chunk_size).ingest(pairs)
-    return sampler.sample, exact_result_count(sampler), sampler.k, sampler.statistics()
-
-
 class ShardedIngestor:
     """Partition a stream across per-shard sampler replicas and merge exactly.
 
@@ -215,7 +206,6 @@ class ShardedIngestor:
             )
         self._rng = rng if rng is not None else random.Random()
         self._shard_seeds = [derive_seed(self._rng) for _ in range(num_shards)]
-        self._custom_factory = factory is not None
         if factory is None:
             factory = lambda shard, shard_rng: ReservoirJoin(query, k, rng=shard_rng)
         self.samplers = [
@@ -265,7 +255,15 @@ class ShardedIngestor:
         # statistics() reports it as None instead of a misleading figure.
         self.timing_incomplete = False
         self._counts: Optional[List[int]] = None
-        self._frozen: Optional[List[_ShardState]] = None
+        # The persistent worker-pool runtime (start_pool/close_pool): while
+        # live, every shard replica resides in its worker process and all
+        # per-shard reads go through the pool's chunk-boundary round trips.
+        self._pool: Optional[ShardWorkerPool] = None
+        # Measured wall clock spent inside ingest_parallel calls (submit
+        # through drain) and one-time pool spawn cost — the honest figures
+        # the one-shot Pool could only report as None.
+        self.parallel_wall_seconds = 0.0
+        self.pool_startup_seconds = 0.0
 
     # ------------------------------------------------------------------ #
     # Timing (delegated to the engine's accounting)
@@ -361,30 +359,152 @@ class ShardedIngestor:
         return parts
 
     # ------------------------------------------------------------------ #
+    # The worker-pool runtime
+    # ------------------------------------------------------------------ #
+    @property
+    def pool_active(self) -> bool:
+        """Whether the shard replicas currently live in pool workers."""
+        return self._pool is not None and self._pool.active
+
+    @property
+    def pool(self) -> Optional[ShardWorkerPool]:
+        """The live worker pool, or ``None`` outside pool mode."""
+        return self._pool if self.pool_active else None
+
+    def start_pool(
+        self, processes: Optional[int] = None, transport: Optional[str] = None
+    ) -> ShardWorkerPool:
+        """Move the live shard replicas into a persistent worker pool.
+
+        Each worker process rebuilds its replica from a
+        :func:`~repro.core.backend.snapshot_backend` record of the
+        parent-side sampler — the same capability checkpoints use — so a
+        pool started mid-stream (or on a checkpoint-restored ingestor)
+        continues exactly where the in-process replicas stood, and a pool
+        started fresh is bit-identical to a serial run under equal seeds.
+        Any snapshot-capable (or picklable) replica qualifies, custom
+        factories included: the built replica's *state* crosses the process
+        boundary, never the factory callable.
+
+        ``processes`` is validated (non-positive counts raise
+        ``ValueError``) but otherwise advisory: shards are stateful, so the
+        pool always runs exactly one worker per shard — there is no smaller
+        unit a process could own.  Idempotent while a pool is live.
+        """
+        if processes is not None and processes <= 0:
+            raise ValueError(
+                f"processes must be positive, got {processes} (pass None "
+                "for the one-worker-per-shard default)"
+            )
+        if self.pool_active:
+            return self._pool
+        start = time.perf_counter()
+        self._pool = ShardWorkerPool(
+            [
+                {
+                    "backend": snapshot_backend(sampler),
+                    "engine": ingestor._engine.snapshot_state(),
+                    "chunk_size": self.chunk_size,
+                }
+                for sampler, ingestor in zip(self.samplers, self.ingestors)
+            ],
+            transport=transport,
+        )
+        self.pool_startup_seconds += time.perf_counter() - start
+        return self._pool
+
+    def close_pool(self, sync: bool = True) -> None:
+        """Stop the pool and return to in-process mode (idempotent).
+
+        With ``sync=True`` (the default) the workers are drained first and
+        their final replica states are adopted back into this process —
+        serial ingestion, ``stored_rows`` and rebalancing then continue
+        seamlessly from everything the pool ingested.  ``sync=False`` skips
+        the adoption (the in-process replicas keep their pre-pool state):
+        the cleanup path for a poisoned pool, or for throwaway runs that
+        already extracted their merged sample.  A poisoned pool is never
+        synced — its shards saw different chunk prefixes.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        try:
+            if sync and pool.active and not pool.poisoned:
+                records = pool.snapshots()
+                self._fold_pool_accounting(pool)
+                self._adopt_worker_states(records)
+            else:
+                pool.collect()
+                self._fold_pool_accounting(pool)
+        finally:
+            pool.close()
+
+    def _adopt_worker_states(self, records: List[Dict[str, object]]) -> None:
+        """Rebuild the in-process replicas from worker snapshot records,
+        splicing the fresh per-shard ingestors into the existing engine
+        lanes so all accumulated accounting survives the transition."""
+        self.samplers = [restore_backend(record["backend"]) for record in records]
+        self.ingestors = [
+            BatchIngestor(sampler, chunk_size=self.chunk_size)
+            for sampler in self.samplers
+        ]
+        for ingestor, record in zip(self.ingestors, records):
+            ingestor._engine.restore_state(record["engine"])
+        for lane, ingestor in zip(self._engine.lanes, self.ingestors):
+            lane.apply = ingestor.ingest_batch
+        self._counts = None
+
+    def _fold_pool_accounting(self, pool: Optional[ShardWorkerPool] = None) -> None:
+        """Fold the pool's accounting deltas into the engine accumulators:
+        per-worker busy seconds into the lane slots, completed chunks'
+        (route + slowest worker) into the critical path."""
+        pool = pool if pool is not None else self._pool
+        if pool is None:
+            return
+        busy = self._engine.lane_busy_seconds
+        for shard, delta in enumerate(pool.take_busy_deltas()):
+            busy[shard] += delta
+        self._engine.critical_path_seconds += pool.take_critical_delta()
+
+    def _pool_ingest_batch(self, items: List) -> int:
+        """One chunk through the pool: route in the parent (all-or-nothing
+        validation, same hash router as serial), scatter the sub-chunks,
+        advance the same engine counters the serial dispatch would."""
+        tuples = len(items)
+        if not tuples:
+            return 0
+        engine = self._engine
+        start = time.perf_counter()
+        parts = self._route(items)
+        route_seconds = time.perf_counter() - start
+        self._pool.submit(parts, route_seconds=route_seconds)
+        engine.route_seconds += route_seconds
+        engine.batches_ingested += 1
+        engine.tuples_ingested += tuples
+        for lane, part in zip(engine.lanes, parts):
+            if part:
+                lane.chunks_applied += 1
+                lane.tuples_applied += len(part)
+        self.note_chunk(tuples, sum(map(len, parts)))
+        self._fold_pool_accounting()
+        return tuples
+
+    # ------------------------------------------------------------------ #
     # Ingestion
     # ------------------------------------------------------------------ #
-    def _require_live(self, operation: str) -> None:
-        """The one post-``ingest_parallel`` guard: every operation that needs
-        the live shard samplers raises the same, fully explanatory message.
-        (``merged_sample`` and ``statistics`` keep working on the frozen
-        per-shard states.)"""
-        if self._frozen is not None:
-            raise RuntimeError(
-                f"this ShardedIngestor was finalised by ingest_parallel(), "
-                f"which discards the live shard samplers; {operation} is "
-                "unavailable — build a new ingestor (merged_sample and "
-                "statistics keep working on the frozen state)"
-            )
-
     def ingest_batch(self, items: Sequence) -> int:
         """Partition one chunk across the shards and ingest every sub-chunk.
 
         Returns the number of stream tuples pushed (before broadcast
-        replication).  All shard reservoirs are uniform over their local
-        result sets when this returns — a chunk boundary is a safe point to
-        call :meth:`merged_sample`.
+        replication).  With a live worker pool the sub-chunks are scattered
+        to the workers (pipelined — the next chunk may be routed while the
+        slow shard still chews); otherwise each shard lane ingests
+        in-process.  Either way every shard sees the identical sub-chunk
+        sequence, and after a drain point (:meth:`merged_sample` drains
+        implicitly) all reservoirs are uniform over their local result sets.
         """
-        self._require_live("further ingestion")
+        if self.pool_active:
+            return self._pool_ingest_batch(list(items))
         return self._engine.ingest_batch(items)
 
     def note_chunk(self, tuples: int, deliveries: int) -> None:
@@ -409,54 +529,42 @@ class ShardedIngestor:
     def ingest_parallel(
         self, stream: Iterable[StreamTuple], processes: Optional[int] = None
     ) -> "ShardedIngestor":
-        """Ingest the whole stream with one worker process per shard.
+        """Ingest ``stream`` through the persistent worker pool.
 
-        Shards share no state, so each worker independently replays its
-        sub-stream through the batched fast path and ships back exactly what
-        the merge needs (reservoir, exact count, statistics).  Per-shard
-        randomness uses the same derived seeds as the serial path.  After
-        this call the ingestor is finalised: :meth:`merged_sample` and
-        :meth:`statistics` keep working, further ingestion raises.
+        Starts the pool on first use (:meth:`start_pool` — workers inherit
+        the live replica state, so the call composes with prior serial
+        ingestion) and leaves it running afterwards: further
+        :meth:`ingest_batch` / ``ingest_parallel`` calls reuse the same
+        workers, :meth:`merged_sample` reads the live shards at a chunk
+        boundary, and :meth:`save` checkpoints *through* the workers.
+        Workers consume the exact per-shard sub-chunk sequence of the
+        serial path from the same replica state, so the result is
+        bit-identical to :meth:`ingest` under equal seeds.  The stream is
+        consumed incrementally (chunk by chunk), never materialised whole.
 
-        Only the default replica factory is supported (custom factories are
-        generally not picklable), and the call must be the first ingestion
-        performed by this instance.
+        ``processes`` must be positive when given (the pool itself is
+        always one worker per shard); an empty stream returns immediately
+        without spawning anything.  Measured wall clock accumulates in
+        ``parallel_wall_seconds``.
         """
-        if self._custom_factory:
-            raise RuntimeError(
-                "ingest_parallel supports only the default ReservoirJoin replicas"
+        if processes is not None and processes <= 0:
+            raise ValueError(
+                f"processes must be positive, got {processes} (pass None "
+                "for the one-worker-per-shard default)"
             )
-        if self.tuples_ingested or self._frozen is not None:
-            raise RuntimeError("ingest_parallel must be the first ingestion")
-        items = list(stream)
+        iterator = iter(stream)
+        try:
+            first = next(iterator)
+        except StopIteration:
+            return self  # empty stream: no pool spawn, no counters touched
+        self.start_pool(processes=processes)
         start = time.perf_counter()
-        parts = self._route(items)
-        self.partition_seconds += time.perf_counter() - start
-        spec = {schema.name: list(schema.attrs) for schema in self.query.relations}
-        keys = {constraint.relation: list(constraint.attrs) for constraint in self.query.keys}
-        payloads = [
-            (
-                self.query.name,
-                spec,
-                keys,
-                self.k,
-                self._shard_seeds[shard],
-                self.chunk_size,
-                parts[shard],
-            )
-            for shard in range(self.num_shards)
-        ]
-        workers = processes or min(self.num_shards, os.cpu_count() or 1)
-        with multiprocessing.Pool(workers) as pool:
-            results = pool.map(_ingest_shard_worker, payloads)
-        self._frozen = [
-            _ShardState(sample, count, capacity, dict(stats))
-            for sample, count, capacity, stats in results
-        ]
-        self.tuples_ingested = len(items)
-        self.broadcast_deliveries += sum(map(len, parts)) - len(items)
-        # One batch per global chunk, matching what serial ingest() counts.
-        self.batches_ingested = -(-len(items) // self.chunk_size)
+        self._engine.ingest(
+            itertools.chain([first], iterator), sink=self.ingest_batch
+        )
+        self._pool.drain()
+        self.parallel_wall_seconds += time.perf_counter() - start
+        self._fold_pool_accounting()
         return self
 
     # ------------------------------------------------------------------ #
@@ -470,11 +578,23 @@ class ShardedIngestor:
 
         Also the ingestor's own snapshot capability, so a sharded backend
         registered into a fan-out checkpoints along with its host.
-        Unavailable after :meth:`ingest_parallel` (the live shard samplers
-        are discarded); requires every shard replica to be snapshot-capable
-        or picklable, which the default :class:`ReservoirJoin` replicas are.
+        Requires every shard replica to be snapshot-capable or picklable,
+        which the default :class:`ReservoirJoin` replicas are.  With a live
+        worker pool the replica states are captured *inside* the workers
+        (drained first, so the cut is a chunk boundary) and shipped back —
+        a checkpoint taken mid-parallel-run restores exactly like a serial
+        one, through the unchanged codec.
         """
-        self._require_live("checkpointing (save)")
+        if self.pool_active:
+            records = self._pool.snapshots()
+            self._fold_pool_accounting()
+            shard_records = [record["backend"] for record in records]
+            shard_engines = [record["engine"] for record in records]
+        else:
+            shard_records = [snapshot_backend(sampler) for sampler in self.samplers]
+            shard_engines = [
+                ingestor._engine.snapshot_state() for ingestor in self.ingestors
+            ]
         return {
             "query": self.query,
             "k": self.k,
@@ -483,10 +603,8 @@ class ShardedIngestor:
             "partition_attr": self.partition_attr,
             "shard_seeds": list(self._shard_seeds),
             "rng": self._rng.getstate(),
-            "shards": [snapshot_backend(sampler) for sampler in self.samplers],
-            "shard_engines": [
-                ingestor._engine.snapshot_state() for ingestor in self.ingestors
-            ],
+            "shards": shard_records,
+            "shard_engines": shard_engines,
             "engine": self._engine.snapshot_state(),
             "counters": {
                 "tuples_ingested": self.tuples_ingested,
@@ -495,6 +613,7 @@ class ShardedIngestor:
                 "relation_deliveries": dict(self.relation_deliveries),
             },
             "timing_incomplete": self.timing_incomplete,
+            "parallel_wall_seconds": self.parallel_wall_seconds,
         }
 
     def save(self, path: str) -> None:
@@ -532,6 +651,8 @@ class ShardedIngestor:
         # An async transport may have driven this ingestor barrier-less; the
         # restored instance must keep suppressing the critical-path figure.
         ingestor.timing_incomplete = state["timing_incomplete"]
+        # Absent in pre-pool checkpoints, which never measured it.
+        ingestor.parallel_wall_seconds = state.get("parallel_wall_seconds", 0.0)
         return ingestor
 
     @classmethod
@@ -560,21 +681,57 @@ class ShardedIngestor:
     # ------------------------------------------------------------------ #
     # Merging
     # ------------------------------------------------------------------ #
+    def _pool_states(self) -> List[_ShardState]:
+        """Fetch the merge inputs from the live workers (drains first — the
+        read happens at a chunk boundary) and refresh the count cache."""
+        states = []
+        for shard, (sample, count, capacity, stats, _) in enumerate(
+            self._pool.shard_states()
+        ):
+            if count is None:
+                raise TypeError(
+                    f"shard {shard}'s replica does not expose a dynamic "
+                    "index; the sharded merge needs exact local result counts"
+                )
+            states.append(
+                _ShardState(
+                    sample,
+                    count,
+                    capacity if capacity is not None else self.k,
+                    dict(stats),
+                )
+            )
+        self._fold_pool_accounting()
+        self._counts = [state.count for state in states]
+        return states
+
     def _states(self) -> List[_ShardState]:
-        if self._frozen is not None:
-            return self._frozen
+        if self.pool_active:
+            return self._pool_states()
         counts = self.shard_counts()
         return [
             _ShardState(sampler.sample, counts[shard], getattr(sampler, "k", self.k))
             for shard, sampler in enumerate(self.samplers)
         ]
 
+    def shard_samples(self) -> List[List[dict]]:
+        """Every shard's reservoir, in shard order — read from the live
+        workers (at a chunk boundary) in pool mode, from the in-process
+        replicas otherwise.  The bit-identity probe: a pool-fed run must
+        produce exactly these lists under equal seeds and chunking."""
+        if self.pool_active:
+            return [list(state.sample) for state in self._pool_states()]
+        return [list(sampler.sample) for sampler in self.samplers]
+
     def shard_counts(self) -> List[int]:
         """Exact local join result counts, one per shard (cached)."""
-        if self._frozen is not None:
-            return [state.count for state in self._frozen]
         if self._counts is None:
-            self._counts = [exact_result_count(sampler) for sampler in self.samplers]
+            if self.pool_active:
+                self._pool_states()  # refreshes the cache as a side effect
+            else:
+                self._counts = [
+                    exact_result_count(sampler) for sampler in self.samplers
+                ]
         return list(self._counts)
 
     def total_results(self) -> int:
@@ -585,12 +742,14 @@ class ShardedIngestor:
     # Rebalancing hooks
     # ------------------------------------------------------------------ #
     def shard_loads(self) -> List[int]:
-        """Stream tuples delivered per shard so far (O(1) observability)."""
-        if self._frozen is not None:
-            return [
-                int(state.statistics.get("tuples_processed", 0))
-                for state in self._frozen
-            ]
+        """Stream tuples delivered per shard so far (O(1) observability).
+
+        In pool mode the parent-side engine lanes carry the delivery
+        counters (advanced at scatter time — no worker round trip), and
+        they agree exactly with what the serial dispatch would count.
+        """
+        if self.pool_active:
+            return [lane.tuples_applied for lane in self._engine.lanes]
         return [ingestor.tuples_ingested for ingestor in self.ingestors]
 
     def load_imbalance(self) -> float:
@@ -620,10 +779,17 @@ class ShardedIngestor:
         deduplicated state is distribution-equivalent to the raw stream).
 
         Requires replicas exposing ``index.database`` (the default
-        :class:`~repro.core.reservoir_join.ReservoirJoin` does); unavailable
-        after :meth:`ingest_parallel`, which discards the shard samplers.
+        :class:`~repro.core.reservoir_join.ReservoirJoin` does).  While a
+        worker pool is live the relation state resides in the worker
+        processes — call :meth:`close_pool` first to adopt it back rather
+        than silently shipping whole relations over IPC.
         """
-        self._require_live("the shard-local relation state (stored_rows)")
+        if self.pool_active:
+            raise RuntimeError(
+                "the shard-local relation state lives in the pool's worker "
+                "processes; call close_pool() to adopt the worker state "
+                "back into this process, then read stored_rows()"
+            )
         rows: Dict[str, List[tuple]] = {}
         broadcast = set(self.broadcast_relations)
         for name in self.query.relation_names:
@@ -709,17 +875,21 @@ class ShardedIngestor:
         :meth:`shard_counts` / :meth:`total_results` explicitly when exact
         figures are worth that price.
 
-        After :meth:`ingest_parallel` the in-process timing accumulators
-        were never exercised (the work happened in worker processes), so
-        ``critical_path_seconds`` and ``shard_busy_seconds`` are reported
-        as ``None`` rather than a misleading ``0.0``; ``partition_seconds``
-        is real (partitioning runs in the parent).  Likewise an async
-        transport driver sets ``timing_incomplete`` — shards then run ahead
-        of each other with no per-chunk barrier, so ``shard_busy_seconds``
-        and ``partition_seconds`` stay real but no critical path exists.
+        With a live worker pool the figures are measured, not placeholders:
+        workers time each sub-chunk and ship the busy seconds back with
+        their acks, which fold into the same engine accumulators serial
+        dispatch uses (``critical_path_seconds`` = per chunk, routing cost
+        + slowest worker).  Mid-flight reads fold whatever acks have
+        arrived; any drain point (``merged_sample``, ``snapshot_state``,
+        ``ingest_parallel``'s return) makes them exact.  An async transport
+        driver sets ``timing_incomplete`` — shards then run ahead of each
+        other with no per-chunk barrier, so ``shard_busy_seconds`` and
+        ``partition_seconds`` stay real but no critical path exists.
         """
-        frozen = self._frozen is not None
-        return {
+        if self.pool_active:
+            self._pool.collect()
+            self._fold_pool_accounting()
+        stats: Dict[str, object] = {
             "num_shards": self.num_shards,
             "partition_attr": self.partition_attr,
             "chunk_size": self.chunk_size,
@@ -733,14 +903,17 @@ class ShardedIngestor:
             "partition_seconds": round(self.partition_seconds, 4),
             "critical_path_seconds": (
                 None
-                if frozen or self.timing_incomplete
+                if self.timing_incomplete
                 else round(self.critical_path_seconds, 4)
             ),
-            "shard_busy_seconds": (
-                None if frozen else [round(s, 4) for s in self.shard_busy_seconds]
-            ),
-            "parallel": frozen,
+            "shard_busy_seconds": [round(s, 4) for s in self.shard_busy_seconds],
+            "parallel": self.pool_active,
+            "parallel_wall_seconds": round(self.parallel_wall_seconds, 4),
+            "pool_startup_seconds": round(self.pool_startup_seconds, 4),
         }
+        if self.pool_active:
+            stats["pool"] = self._pool.statistics()
+        return stats
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -121,6 +121,19 @@ def test_unknown_mode_is_rejected(tiny_scenarios):
         ModeMatrix(tiny_scenarios[:1], modes=["pertuple", "warp"])
 
 
+def test_run_cell_rejects_unknown_mode_upfront(tiny_scenarios, tmp_path):
+    # Regression: a typo'd mode used to surface as a KeyError traceback
+    # formatted into a "fail" cell; it must raise clearly, naming the
+    # valid modes, before any scenario work starts.
+    matrix = ModeMatrix(tiny_scenarios[:1], GauntletConfig(trials=0, scale=TINY))
+    with pytest.raises(KeyError) as excinfo:
+        matrix.run_cell(tiny_scenarios[0], "shraded", str(tmp_path))
+    message = str(excinfo.value)
+    assert "unknown mode 'shraded'" in message
+    for mode in MODES:
+        assert mode in message
+
+
 def test_fast_matrix_passes_with_exact_set_tiers(fast_report):
     assert fast_report.passed, fast_report.render()
     for cell in fast_report.cells:
@@ -137,10 +150,22 @@ def test_structural_skips_carry_reasons(fast_report):
         cell = fast_report.cell("strings-predicate", mode)
         assert cell.status == "skip"
         assert "predicate" in cell.reason
-    assert fast_report.cell("graph-triangle", "sharded-parallel").status == "skip"
     assert fast_report.cell("graph-triangle", "rebalancing").status == "skip"
-    # Cyclic scenarios still shard serially, through the custom factory.
+    # Cyclic scenarios shard serially through the custom factory — and now
+    # ride the process-parallel pool too (built replica state crosses the
+    # process boundary, never the factory callable).
     assert fast_report.cell("graph-triangle", "sharded").status == "pass"
+    assert fast_report.cell("graph-triangle", "sharded-parallel").status == "pass"
+
+
+def test_parallel_cells_assert_bit_identity(fast_report):
+    for scenario in (s["name"] for s in fast_report.scenarios):
+        cell = fast_report.cell(scenario, "sharded-parallel")
+        if cell.status == "skip":
+            continue
+        assert cell.tier == "bit-identical", (scenario, cell.tier)
+        assert cell.detail["bit_identical"] is True
+        assert cell.detail["pool_transport"] in ("slab", "pipe")
 
 
 def test_checkpoint_column_covers_all_five_durable_modes(fast_report):

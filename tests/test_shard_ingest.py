@@ -312,31 +312,72 @@ class TestParallel:
             == truth
         )
 
-    def test_parallel_guards(self, line3_query):
+    def test_nonpositive_process_count_rejected(self, line3_query):
+        # Regression: processes=0 used to fall through `processes or ...`
+        # to the default worker count instead of being rejected.
         stream = line3_stream(line3_query, 20, seed=43)
         ingestor = ShardedIngestor(line3_query, k=5, num_shards=2, rng=random.Random(9))
-        ingestor.ingest_batch(stream[:5])
-        with pytest.raises(RuntimeError):
-            ingestor.ingest_parallel(stream)  # not the first ingestion
-        custom = ShardedIngestor(
-            line3_query, k=5, num_shards=2,
-            factory=lambda shard, rng: ReservoirJoin(line3_query, 5, rng=rng),
+        for bad in (0, -1, -8):
+            with pytest.raises(ValueError, match="processes must be positive"):
+                ingestor.ingest_parallel(stream, processes=bad)
+            with pytest.raises(ValueError, match="processes must be positive"):
+                ingestor.start_pool(processes=bad)
+        assert not ingestor.pool_active  # nothing was spawned on the way
+
+    def test_empty_stream_short_circuits_without_a_pool(self, line3_query):
+        # Regression: the old path spawned a full worker pool even when the
+        # stream had nothing in it.
+        ingestor = ShardedIngestor(line3_query, k=5, num_shards=2, rng=random.Random(9))
+        assert ingestor.ingest_parallel([]) is ingestor
+        assert not ingestor.pool_active
+        assert ingestor.tuples_ingested == 0
+        assert ingestor.batches_ingested == 0
+
+    def test_pool_stays_live_for_further_ingestion(self, line3_query):
+        # The persistent pool kills the old finalisation semantics: after
+        # ingest_parallel the ingestor accepts more chunks, more parallel
+        # streams, and live merged_sample reads — matching a serial twin.
+        stream = line3_stream(line3_query, 80, seed=43)
+        serial = ShardedIngestor(
+            line3_query, k=10, num_shards=2, chunk_size=16, rng=random.Random(9)
         )
-        with pytest.raises(RuntimeError):
-            custom.ingest_parallel(stream)  # custom factories are not picklable
-        finalised = ShardedIngestor(
-            line3_query, k=5, num_shards=2, rng=random.Random(10)
+        parallel = ShardedIngestor(
+            line3_query, k=10, num_shards=2, chunk_size=16, rng=random.Random(9)
         )
-        finalised.ingest_parallel(stream, processes=2)
-        with pytest.raises(RuntimeError):
-            finalised.ingest_batch(stream[:5])
-        with pytest.raises(RuntimeError):
-            finalised.ingest_parallel(stream)
-        stats = finalised.statistics()
+        parallel.ingest_parallel(stream[:40], processes=2)
+        serial.ingest(stream[:40])
+        assert parallel.pool_active
+        parallel.ingest_batch(stream[40:60])
+        serial.ingest_batch(stream[40:60])
+        parallel.ingest_parallel(stream[60:])
+        serial.ingest(stream[60:])
+        assert parallel.shard_samples() == serial.shard_samples()
+        assert parallel.shard_counts() == serial.shard_counts()
+        parallel.close_pool()
+
+    def test_statistics_report_measured_parallel_timings(self, line3_query):
+        # Regression: the one-shot pool reported critical_path_seconds and
+        # shard_busy_seconds as None after parallel ingestion; the worker
+        # pool ships measured per-chunk busy seconds back with its acks.
+        stream = line3_stream(line3_query, 120, seed=47)
+        ingestor = ShardedIngestor(
+            line3_query, k=5, num_shards=2, chunk_size=16, rng=random.Random(10)
+        )
+        ingestor.ingest_parallel(stream, processes=2)
+        stats = ingestor.statistics()
         assert stats["parallel"] is True
-        # In-process timing accumulators were never exercised by the worker
-        # processes: reported as None, never as a misleading 0.0.  The
-        # partitioning ran in the parent, so that figure is real.
-        assert stats["critical_path_seconds"] is None
-        assert stats["shard_busy_seconds"] is None
+        assert stats["parallel_wall_seconds"] > 0.0
+        assert stats["pool_startup_seconds"] > 0.0
+        assert stats["critical_path_seconds"] > 0.0
+        assert len(stats["shard_busy_seconds"]) == 2
+        assert sum(stats["shard_busy_seconds"]) > 0.0
         assert stats["partition_seconds"] >= 0.0
+        pool_stats = stats["pool"]
+        assert pool_stats["workers"] == 2
+        assert pool_stats["poisoned"] is False
+        assert sum(pool_stats["chunks_shipped"]) >= 8  # 120 tuples / 16
+        ingestor.close_pool()
+        # After adoption the figures survive on the in-process engine.
+        closed = ingestor.statistics()
+        assert closed["parallel"] is False
+        assert closed["critical_path_seconds"] == stats["critical_path_seconds"]

@@ -54,6 +54,24 @@ BENCHMARKS = {
     ),
 }
 
+#: report -> {mode row -> fields that must be present and non-null}.  Mode
+#: rows carry the *measured* figures (no placeholders allowed): the parallel
+#: row must report the worker pool's startup cost, per-worker busy seconds
+#: and its overhead over the serial sharded total.  Values are still never
+#: thresholded here — ratios stay informational.
+MODE_FIELDS = {
+    "BENCH_shard_ingest.json": {
+        "sharded_critical_path": ("partition_seconds", "shard_seconds"),
+        "sharded_parallel_wall": (
+            "seconds",
+            "pool_startup_seconds",
+            "worker_busy_seconds",
+            "transport",
+            "overhead_over_serial_total",
+        ),
+    },
+}
+
 
 def run_one(script: str, report: str, required_keys, scale: float) -> None:
     env = dict(os.environ)
@@ -79,6 +97,25 @@ def run_one(script: str, report: str, required_keys, scale: float) -> None:
     missing = [key for key in required_keys if document.get(key) is None]
     if missing:
         raise SystemExit(f"[bench-smoke] FAILED: {report} is missing keys {missing}")
+    # "modes" is a list of row dicts in the seam benchmarks but a list of
+    # mode *names* in the gauntlet report; only dict rows carry fields.
+    rows = {
+        row.get("mode"): row
+        for row in document.get("modes") or []
+        if isinstance(row, dict)
+    }
+    for mode, fields in MODE_FIELDS.get(report, {}).items():
+        row = rows.get(mode)
+        if row is None:
+            raise SystemExit(
+                f"[bench-smoke] FAILED: {report} has no {mode!r} mode row"
+            )
+        gaps = [field for field in fields if row.get(field) is None]
+        if gaps:
+            raise SystemExit(
+                f"[bench-smoke] FAILED: {report} mode {mode!r} is missing "
+                f"measured fields {gaps}"
+            )
     print(f"[bench-smoke] ok: {report} ({path.stat().st_size} bytes)", flush=True)
 
 
