@@ -10,13 +10,16 @@ export PYTHONPATH
 test: unit docs-check
 
 # The CI smoke profile in one shot: tier-1 suite, executable docs, the
-# worker-pool IPC contract on both transports, and the statistical suites
-# at the scaled-down REPRO_STAT_TRIALS=60 trial counts (the whole thing
-# finishes in well under three minutes).  The pool module already runs as
-# part of `unit`; the second pass pins the `pipe` transport fallback, which
-# the default-slab suite would otherwise never exercise end to end.
+# worker-pool IPC contract on both transports, the serving-layer slice
+# (gating: snapshot isolation is a correctness seam, not a perf knob), and
+# the statistical suites at the scaled-down REPRO_STAT_TRIALS=60 trial
+# counts (the whole thing finishes in well under three minutes).  The pool
+# module already runs as part of `unit`; the second pass pins the `pipe`
+# transport fallback, which the default-slab suite would otherwise never
+# exercise end to end.
 test-smoke: unit docs-check
 	REPRO_POOL_TRANSPORT=pipe python -m pytest tests/test_pool.py tests/test_shard_ingest.py -q
+	python -m pytest tests/test_serving.py -q
 	REPRO_STAT_TRIALS=60 python -m pytest -m slow -q
 
 unit:
@@ -53,11 +56,12 @@ bench:
 	python benchmarks/bench_rebalance.py
 	python benchmarks/bench_fanout.py
 	python benchmarks/bench_gauntlet.py
+	python benchmarks/bench_serving.py
 
 bench-fanout:
 	python benchmarks/bench_fanout.py
 
-# Tiny-N smoke of the five seam benchmarks (REPRO_BENCH_SCALE=0.02, one
+# Tiny-N smoke of the six seam benchmarks (REPRO_BENCH_SCALE=0.02, one
 # repeat): asserts each still *executes and emits valid JSON* — imports,
 # streams, internal bit-identity/exact-count assertions, report schema.  No
 # speedup thresholds: per the bench-box convention, ratios are far too noisy

@@ -66,6 +66,12 @@ Two orthogonal add-ons compose with the sharded and fan-out modes:
   included).  Choose it when the stream source itself blocks (network,
   pagination) and would otherwise serialise with ingestion.
 
+Any of these modes can be *served*: ``SampleServer`` (:mod:`repro.serve`)
+wraps a live ingestor and multiplexes concurrent readers against the single
+writer through snapshot-isolated, exactly-uniform epoch cuts taken at chunk
+boundaries — with per-subscriber predicate views and an asyncio front end
+(``ServerFrontend``) for bounded-staleness reader tasks.
+
 Long-running streams are durable: ``BatchIngestor``, ``ShardedIngestor``
 and ``FanoutIngestor`` expose ``save(path)`` / ``restore(path)`` — a
 versioned, checksummed checkpoint (reservoirs, stored relation state, exact
@@ -97,6 +103,7 @@ from .ingest.checkpoint import (
     CheckpointError,
     CheckpointMismatchError,
     CheckpointVersionError,
+    PeriodicCheckpointer,
 )
 from .ingest.engine import IngestionEngine
 from .ingest.fanout import FanoutIngestor
@@ -104,6 +111,7 @@ from .ingest.pipeline import AsyncIngestor
 from .ingest.pool import ShardWorkerPool, WorkerCrashError
 from .ingest.rebalance import RebalancingIngestor, SkewMonitor
 from .ingest.shard import ShardedIngestor
+from .serve import EpochSnapshot, SampleServer, ServerFrontend
 from .index.dynamic_index import DynamicJoinIndex
 from .index.two_table import TwoTableIndex
 from .index.foreign_key import ForeignKeyCombiner
@@ -140,6 +148,10 @@ __all__ = [
     "CheckpointCorruptError",
     "CheckpointVersionError",
     "CheckpointMismatchError",
+    "PeriodicCheckpointer",
+    "EpochSnapshot",
+    "SampleServer",
+    "ServerFrontend",
     "DynamicJoinIndex",
     "TwoTableIndex",
     "ForeignKeyCombiner",

@@ -29,6 +29,16 @@ ground-truth universe or against a reference run:
     tier name remains recognised so downstream tooling reading old reports
     keeps working.
 
+``epoch-exact-set+bit-identical``
+    The serving layer's contract: reading the scenario *through* a
+    :class:`~repro.serve.server.SampleServer` mid-stream, at two interior
+    epochs and the final one, must yield (a) the bit-for-bit reservoir of a
+    co-driven standalone run stopped at the same chunk boundary and (b) —
+    with an over-sized reservoir — exactly the ground-truth result set of
+    the *prefix* consumed by that epoch.  The earliest probe's snapshot is
+    re-read after the stream finishes to prove snapshot isolation: later
+    chunks must not leak into an older epoch cut.
+
 Cells a mode cannot structurally host — no join query to hash-partition,
 cyclic plans where only acyclic inner ingestors can be rebuilt — are
 reported as ``skip`` with the reason, never silently dropped.
@@ -54,8 +64,9 @@ from ..ingest.fanout import FanoutIngestor
 from ..ingest.pipeline import AsyncIngestor
 from ..ingest.rebalance import RebalancingIngestor, SkewMonitor
 from ..ingest.shard import ShardedIngestor
+from ..serve import SampleServer
 from ..stats.uniformity import result_key, uniformity_p_value
-from .scenarios import Scenario, build_scenarios
+from .scenarios import Scenario, _join_universe, build_scenarios
 
 #: Column order of the matrix.
 MODES = (
@@ -67,6 +78,7 @@ MODES = (
     "async",
     "fanout",
     "checkpoint",
+    "served",
 )
 
 #: Below this many trials the chi-square approximation is too weak to gate on.
@@ -532,6 +544,104 @@ class ModeMatrix:
             detail={"backends": 2},
         )
 
+    def _prefix_universe(self, scenario: Scenario, consumed: int) -> List[dict]:
+        """Ground truth of the first ``consumed`` stream tuples — what a
+        snapshot at that boundary's epoch must be uniform over."""
+        prefix = scenario.stream[:consumed]
+        if scenario.query is not None:
+            return _join_universe(scenario.query, prefix)
+        # Predicate scenario: replay the prefix through the scenario's own
+        # predicate (probed off a throwaway sampler, so scenario builders
+        # stay free to wrap or counter-instrument it).
+        probe = scenario.make_sampler(1, random.Random(0))
+        predicate, attribute = probe.predicate, probe.attribute
+        return [
+            {attribute: item.row[0]}
+            for item in prefix
+            if predicate(item.row[0])
+        ]
+
+    def _cell_served(self, scenario: Scenario) -> CellResult:
+        """Mid-stream reads through a SampleServer: every probed epoch is
+        bit-identical to a co-driven standalone run stopped at the same
+        boundary, exactly covers the prefix universe, and stays frozen
+        while later chunks land (snapshot isolation)."""
+        cfg = self.config
+        chunk = cfg.chunk_size
+        oversized = scenario.universe_size + 8
+        server = SampleServer(
+            BatchIngestor(
+                scenario.make_sampler(oversized, random.Random(cfg.seed)),
+                chunk_size=chunk,
+            )
+        )
+        reference = BatchIngestor(
+            scenario.make_sampler(oversized, random.Random(cfg.seed)),
+            chunk_size=chunk,
+        )
+        pieces = [
+            scenario.stream[start:start + chunk]
+            for start in range(0, len(scenario.stream), chunk)
+        ]
+        total = len(pieces)
+        # Two interior boundaries plus the final one (deduplicated on the
+        # smoke-scale streams where they collide).
+        probes = sorted({max(1, total // 3), max(1, (2 * total) // 3), total})
+        epochs_checked: List[int] = []
+        held: List[object] = []  # [snapshot, recorded sample] of first probe
+
+        def run() -> None:
+            consumed = 0
+            for boundary, piece in enumerate(pieces, start=1):
+                server.ingest_batch(piece)
+                reference.ingest_batch(piece)
+                consumed += len(piece)
+                if boundary not in probes:
+                    continue
+                snap = server.snapshot()
+                if snap.epoch != boundary:
+                    raise CellFailure(
+                        f"snapshot epoch {snap.epoch} != boundary {boundary}"
+                    )
+                sample = snap.sample()
+                if sample != list(reference.sampler.sample):
+                    raise CellFailure(
+                        f"served sample at epoch {boundary} is not "
+                        "bit-identical to the standalone run"
+                    )
+                sampled = {result_key(result) for result in sample}
+                truth = {
+                    result_key(result)
+                    for result in self._prefix_universe(scenario, consumed)
+                }
+                if sampled != truth:
+                    raise CellFailure(
+                        f"epoch {boundary} exact-set mismatch: "
+                        f"{len(sampled - truth)} spurious, "
+                        f"{len(truth - sampled)} missing of {len(truth)} results"
+                    )
+                epochs_checked.append(boundary)
+                if not held:
+                    held.extend([snap, list(sample)])
+
+        _, seconds = measure_seconds(run)
+        if held and held[0].sample() != held[1]:
+            raise CellFailure(
+                f"epoch-{held[0].epoch} snapshot mutated after later chunks "
+                "(isolation broken)"
+            )
+        statistics = server.statistics()
+        return CellResult(
+            scenario.name, "served", "epoch-exact-set+bit-identical", "pass",
+            serial_seconds=round(seconds, 4),
+            detail={
+                "epochs_checked": epochs_checked,
+                "final_epoch": server.epoch,
+                "isolation_reread": bool(held),
+                "snapshots_taken": statistics.get("snapshots_taken"),
+            },
+        )
+
     def _checkpoint_boundary(self, scenario: Scenario) -> int:
         """A mid-stream cut on a chunk boundary (the documented save point:
         chunking-sensitive samplers resume bit-identically only there)."""
@@ -688,6 +798,15 @@ class ModeMatrix:
             return "no join query to hash-partition (predicate stream)"
         if mode == "rebalancing" and scenario.kind == "cyclic":
             return "rebalancer rebuilds acyclic inner ingestors only"
+        if mode == "served" and scenario.query is None:
+            # Epoch exact-set needs the *prefix* universe, which for a
+            # predicate stream is derivable only from the predicate itself.
+            probe = scenario.make_sampler(1, random.Random(0))
+            if getattr(probe, "predicate", None) is None:
+                return (
+                    "sampler exposes no predicate to derive the prefix "
+                    "universe for epoch exact-set checks"
+                )
         return None
 
     def run_cell(self, scenario: Scenario, mode: str, tmp_dir: str) -> CellResult:
@@ -708,6 +827,7 @@ class ModeMatrix:
             "rebalancing": self._cell_rebalancing,
             "async": self._cell_async,
             "fanout": self._cell_fanout,
+            "served": self._cell_served,
         }
         try:
             if mode == "checkpoint":

@@ -59,6 +59,7 @@ from .checkpoint import (
     CheckpointError,
     CheckpointMismatchError,
     CheckpointVersionError,
+    PeriodicCheckpointer,
 )
 from .engine import DEFAULT_CHUNK_SIZE, EngineLane, IngestionEngine
 from .fanout import FanoutIngestor
@@ -85,6 +86,7 @@ __all__ = [
     "CheckpointCorruptError",
     "CheckpointVersionError",
     "CheckpointMismatchError",
+    "PeriodicCheckpointer",
     "partition_attribute",
     "plan_partition",
     "simulate_partition",

@@ -80,6 +80,16 @@ class BatchIngestor:
         self._engine.ingest(stream)
         return self
 
+    def add_boundary_hook(self, hook):
+        """Register ``hook(items, parts)`` to run at every chunk boundary.
+
+        Chunk boundaries are exactly where the reservoir's uniformity
+        guarantee holds, so this is the attachment point for epoch cuts
+        (:class:`~repro.serve.SampleServer`) and timer checkpointing
+        (:class:`~repro.ingest.checkpoint.PeriodicCheckpointer`).
+        """
+        return self._engine.add_boundary_hook(hook)
+
     # ------------------------------------------------------------------ #
     # Durability
     # ------------------------------------------------------------------ #

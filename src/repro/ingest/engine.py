@@ -155,6 +155,25 @@ class IngestionEngine:
         return lane
 
     # ------------------------------------------------------------------ #
+    # Boundary hooks
+    # ------------------------------------------------------------------ #
+    def add_boundary_hook(
+        self, hook: Callable[[List, List[List]], None]
+    ) -> Callable[[List, List[List]], None]:
+        """Register ``hook(items, parts)`` to run at every chunk boundary.
+
+        The public registration point for everything that must observe the
+        stream exactly where the uniformity guarantee holds: the serving
+        layer's epoch cuts, timer-based background checkpointing, skew
+        monitors.  Hooks run in registration order, after the chunk has been
+        fully dispatched; a hook that raises aborts the ``ingest_batch``
+        call (the chunk itself is already absorbed).  Returns ``hook`` so it
+        can be registered inline.
+        """
+        self.after_chunk.append(hook)
+        return hook
+
+    # ------------------------------------------------------------------ #
     # Dispatch
     # ------------------------------------------------------------------ #
     def ingest_batch(self, items: Sequence) -> int:

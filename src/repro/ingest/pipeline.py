@@ -140,6 +140,8 @@ class AsyncIngestor:
         self._closed = False  # no further submits (closed or failed)
         self._stopped = False  # worker threads joined
         self._failure: Optional[BaseException] = None  # first worker error, sticky
+        self._boundary_hooks: List = []
+        self._chunks_at_last_boundary = 0
         # A sharded target with a live worker pool already owns its own
         # process-level parallelism and chunk pipelining: drive it through
         # the single-worker path below (ingest_batch scatters to the pool),
@@ -251,7 +253,32 @@ class AsyncIngestor:
         for worker in self._workers:
             worker.queue.join()
         self._raise_pending()
+        if self.chunks_submitted > self._chunks_at_last_boundary:
+            self._chunks_at_last_boundary = self.chunks_submitted
+            for hook in self._boundary_hooks:
+                hook(None, None)
         return self
+
+    @property
+    def at_boundary(self) -> bool:
+        """Whether every submitted chunk has been absorbed at a drain point.
+
+        ``False`` means chunks are in flight (or drained behind the last
+        boundary dispatch) and the target's state is not a uniform cut.
+        """
+        return self.chunks_submitted == self._chunks_at_last_boundary
+
+    def add_boundary_hook(self, hook):
+        """Register ``hook(items, parts)`` to run at every chunk boundary.
+
+        An async pipeline only *has* chunk boundaries at drain points, so
+        hooks fire once per :meth:`drain` that absorbed new chunks (with
+        ``items``/``parts`` as ``None`` — multiple chunks may have passed
+        since the last drain).  Between drains, shards run ahead of each
+        other and no uniform cut exists to observe.
+        """
+        self._boundary_hooks.append(hook)
+        return hook
 
     def close(self) -> None:
         """Stop the workers and join their threads (idempotent).

@@ -339,6 +339,10 @@ class RebalancingIngestor:
         self.batches_ingested = 0
         self._chunks_since_plan = 0
         self._window: Deque[Tuple[str, tuple]] = deque(maxlen=window_tuples)
+        # Boundary hooks live on the *wrapper*, not the inner engine: a
+        # rebalance swaps self.inner (fresh engine included), which would
+        # silently drop engine-level registrations.
+        self._boundary_hooks: List = []
         # Critical-path/partition/busy seconds of retired inner generations,
         # plus the serial rebalance overhead (state reassembly + planning).
         self._retired_critical_seconds = 0.0
@@ -374,6 +378,8 @@ class RebalancingIngestor:
         self.batches_ingested += 1
         self._chunks_since_plan += 1
         self.maybe_rebalance()
+        for hook in self._boundary_hooks:
+            hook(pairs, None)
         return pushed
 
     def ingest(self, stream: Iterable[StreamTuple]) -> "RebalancingIngestor":
@@ -381,6 +387,19 @@ class RebalancingIngestor:
         for chunk in chunk_stream(stream, self.chunk_size):
             self.ingest_batch(chunk)
         return self
+
+    def add_boundary_hook(self, hook):
+        """Register ``hook(items, parts)`` to run at every chunk boundary.
+
+        Hooks are held by the wrapper and fire from its own
+        :meth:`ingest_batch` — *after* any rebalance the chunk triggered, so
+        a hook always observes a settled (possibly re-partitioned) inner
+        ingestor.  ``parts`` is ``None``: the wrapper does not expose the
+        inner routing.  Hooks survive rebalances, which replace the inner
+        ingestor and its engine wholesale.
+        """
+        self._boundary_hooks.append(hook)
+        return hook
 
     # ------------------------------------------------------------------ #
     # Rebalancing

@@ -485,7 +485,12 @@ class ShardedIngestor:
             if part:
                 lane.chunks_applied += 1
                 lane.tuples_applied += len(part)
-        self.note_chunk(tuples, sum(map(len, parts)))
+        # Dispatch the engine's boundary hooks (the first is the note_chunk
+        # roll-up registered at construction) so pool-fed chunks fire the
+        # same chunk-boundary seam as serial dispatch — epoch cuts and timer
+        # checkpoints observe pool ingestion too.
+        for hook in engine.after_chunk:
+            hook(items, parts)
         self._fold_pool_accounting()
         return tuples
 
@@ -525,6 +530,15 @@ class ShardedIngestor:
         """Cut ``stream`` into chunks and ingest them all; returns ``self``."""
         self._engine.ingest(stream, sink=self.ingest_batch)
         return self
+
+    def add_boundary_hook(self, hook):
+        """Register ``hook(items, parts)`` to run at every chunk boundary.
+
+        Fires for serial and pool-fed chunks alike (the pool path dispatches
+        the same engine hook list), always after the counter roll-up — so a
+        hook reading ``tuples_ingested`` sees the chunk already accounted.
+        """
+        return self._engine.add_boundary_hook(hook)
 
     def ingest_parallel(
         self, stream: Iterable[StreamTuple], processes: Optional[int] = None

@@ -57,6 +57,15 @@ the two properties the sharded/bulk refactor must preserve:
     *bit-identical* to per-tuple ingestion after every single tuple, on
     each workload schema; and the small-reservoir sample must stay uniform.
 
+(g) **Served reads ≡ standalone samplers stopped at the epoch's prefix.**
+    A ``SampleServer``'s copy-on-read cut at epoch ``E`` must hold, bit
+    for bit, the reservoir of a standalone co-seeded run that ingested the
+    first ``E`` chunks and then stopped — at *every* epoch of random
+    acyclic cases, for the batched host directly and for the sharded host
+    through ``merged_sample`` under equal explicit merge RNGs.  Serving is
+    a read-path concern, never a distribution change: the snapshot capture
+    must neither consume the writer's randomness nor perturb its state.
+
 Trial counts honour ``REPRO_STAT_TRIALS`` (see ``tests/conftest.py``).
 """
 
@@ -75,6 +84,7 @@ from repro import (
     JoinQuery,
     RebalancingIngestor,
     ReservoirJoin,
+    SampleServer,
     ShardedIngestor,
     SkewMonitor,
     StreamTuple,
@@ -696,3 +706,75 @@ def test_workload_small_reservoir_uniform_through_chunks(chunk_size):
 
     p_value = uniformity_p_value(run_one, universe, TRIALS, k)
     assert p_value > P_THRESHOLD, f"workload batched rejected: p={p_value:.5f}"
+
+
+# ---------------------------------------------------------------------- #
+# (g) Served reads ≡ standalone samplers stopped at the epoch's prefix
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("case_seed", [9, 33, 58])
+def test_served_batched_sample_bit_identical_at_every_epoch(case_seed):
+    """At each chunk boundary the server's cut holds exactly the reservoir
+    of a co-seeded standalone run stopped at that prefix — and capturing
+    the cut never perturbs the writer (the runs stay identical to the
+    end even though every epoch was snapshotted)."""
+    rng = random.Random(case_seed)
+    query, stream = random_acyclic_case(rng)
+    chunk_size = rng.choice([8, 17])
+    chunks = _chunks_of(stream, chunk_size)
+
+    server = SampleServer(
+        BatchIngestor(
+            ReservoirJoin(query, 7, rng=random.Random(case_seed + 1)),
+            chunk_size=chunk_size,
+        ),
+        rng=random.Random(case_seed + 2),
+    )
+    standalone = BatchIngestor(
+        ReservoirJoin(query, 7, rng=random.Random(case_seed + 1)),
+        chunk_size=chunk_size,
+    )
+    for epoch, chunk in enumerate(chunks, start=1):
+        server.ingest_batch(chunk)
+        standalone.ingest_batch(chunk)
+        snap = server.snapshot()
+        assert snap.epoch == epoch
+        assert snap.sample() == list(standalone.sampler.sample)
+    # The frozen replica is a full bit-copy, statistics included.
+    assert snap.replica.sampler.statistics() == standalone.sampler.statistics()
+    assert snap.replica.statistics() == standalone.statistics()
+
+
+@pytest.mark.parametrize("case_seed", [12, 41, 77])
+def test_served_sharded_merged_sample_bit_identical_at_every_epoch(case_seed):
+    """The served cut of a sharded host realises the exact hypergeometric
+    merge: under an equal explicit merge RNG it draws the same merged
+    sample as the live standalone ingestor at every chunk boundary."""
+    rng = random.Random(case_seed)
+    query, stream = random_acyclic_case(rng)
+    chunk_size = rng.choice([8, 17])
+    num_shards = rng.choice([2, 3])
+    chunks = _chunks_of(stream, chunk_size)
+
+    server = SampleServer(
+        ShardedIngestor(
+            query, 7, num_shards=num_shards, chunk_size=chunk_size,
+            rng=random.Random(case_seed + 1),
+        ),
+        rng=random.Random(case_seed + 2),
+    )
+    standalone = ShardedIngestor(
+        query, 7, num_shards=num_shards, chunk_size=chunk_size,
+        rng=random.Random(case_seed + 1),
+    )
+    for epoch, chunk in enumerate(chunks, start=1):
+        server.ingest_batch(chunk)
+        standalone.ingest_batch(chunk)
+        snap = server.snapshot()
+        assert snap.epoch == epoch
+        merge_rng = case_seed + 1000 + epoch
+        assert snap.merged_sample(
+            7, rng=random.Random(merge_rng)
+        ) == standalone.merged_sample(7, rng=random.Random(merge_rng))
+    assert [list(s.sample) for s in snap.replica.samplers] == [
+        list(s.sample) for s in standalone.samplers
+    ]

@@ -140,7 +140,10 @@ def test_fast_matrix_passes_with_exact_set_tiers(fast_report):
         if cell.status == "skip":
             continue
         assert cell.tier in (
-            "exact-set", "exact-set+determinism", "bit-identical"
+            "exact-set",
+            "exact-set+determinism",
+            "bit-identical",
+            "epoch-exact-set+bit-identical",
         ), (cell.scenario, cell.mode, cell.tier)
         assert cell.p_value is None  # trials=0: no chi-square anywhere
 
@@ -176,6 +179,21 @@ def test_checkpoint_column_covers_all_five_durable_modes(fast_report):
         assert cell.detail["cut_at_tuple"] % fast_report.config["chunk_size"] == 0
         covered.update(cell.detail["covered"])
     assert covered == {"batch", "fanout", "async", "sharded", "rebalancing"}
+
+
+def test_served_column_probes_interior_epochs_everywhere(fast_report):
+    # Satellite: every scenario — joins and the predicate stream alike —
+    # is read through the server mid-stream at >= 2 epochs, with the
+    # earliest snapshot re-read afterwards to prove isolation.
+    for scenario in (s["name"] for s in fast_report.scenarios):
+        cell = fast_report.cell(scenario, "served")
+        assert cell.status == "pass", (scenario, cell.reason)
+        assert cell.tier == "epoch-exact-set+bit-identical"
+        epochs = cell.detail["epochs_checked"]
+        assert len(epochs) >= 2, (scenario, epochs)
+        assert epochs[-1] == cell.detail["final_epoch"]
+        assert epochs[0] < cell.detail["final_epoch"]  # a true interior probe
+        assert cell.detail["isolation_reread"] is True
 
 
 def test_report_counts_and_dict_shape(fast_report):

@@ -37,7 +37,12 @@ def test_matrix_meets_the_coverage_floor(report):
 
 
 def test_every_non_skipped_cell_asserts_a_declared_tier(report):
-    declared = {"bit-identical", "exact-set+chi-square", "exact-set+determinism"}
+    declared = {
+        "bit-identical",
+        "exact-set+chi-square",
+        "exact-set+determinism",
+        "epoch-exact-set+bit-identical",
+    }
     for cell in report.cells:
         if cell.status == "skip":
             assert cell.reason, (cell.scenario, cell.mode)

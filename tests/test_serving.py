@@ -1,0 +1,406 @@
+"""The sample-serving layer: epochs, snapshot isolation, views, front end.
+
+Fast tier-1 tests for ``repro.serve`` plus the chunk-boundary hook seam it
+rides on (``add_boundary_hook`` across every ingestor) and the
+``PeriodicCheckpointer`` built on the same seam.  The thread-hammering
+counterpart lives in tests/test_serving_stress.py (slow tier); the
+bit-for-bit property sweep is section (g) of the statistical harness.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    AsyncIngestor,
+    BatchIngestor,
+    PredicateStreamSampler,
+    RebalancingIngestor,
+    ReservoirJoin,
+    SampleServer,
+    ServerFrontend,
+    ShardedIngestor,
+    SkewMonitor,
+    StreamTuple,
+)
+from repro.ingest.checkpoint import PeriodicCheckpointer
+from repro.serve.frontend import quantile
+from repro.stats.uniformity import result_key
+
+K = 8
+CHUNK = 16
+N_TUPLES = 10 * CHUNK
+
+
+def line3_stream(query, n, seed, domain=12):
+    rng = random.Random(seed)
+    names = query.relation_names
+    return [
+        StreamTuple(rng.choice(names), (rng.randrange(domain), rng.randrange(domain)))
+        for _ in range(n)
+    ]
+
+
+def chunks_of(stream, size=CHUNK):
+    return [stream[i : i + size] for i in range(0, len(stream), size)]
+
+
+@pytest.fixture
+def stream(line3_query):
+    return line3_stream(line3_query, N_TUPLES, seed=7)
+
+
+def is_even(item):
+    """Module-level predicate: picklable by the snapshot capability."""
+    return item % 2 == 0
+
+
+# ---------------------------------------------------------------------- #
+# The chunk-boundary hook seam
+# ---------------------------------------------------------------------- #
+class TestBoundaryHooks:
+    def test_batch_ingestor_fires_once_per_chunk(self, line3_query, stream):
+        ingestor = BatchIngestor(ReservoirJoin(line3_query, K), chunk_size=CHUNK)
+        seen = []
+        ingestor.add_boundary_hook(lambda items, parts: seen.append(len(items)))
+        ingestor.ingest(stream)
+        assert seen == [len(c) for c in chunks_of(stream)]
+
+    def test_sharded_serial_and_pool_paths_fire_hooks(self, line3_query, stream):
+        for parallel in (False, True):
+            ingestor = ShardedIngestor(
+                line3_query, K, num_shards=2, chunk_size=CHUNK,
+                rng=random.Random(11),
+            )
+            boundaries = []
+            ingestor.add_boundary_hook(
+                lambda items, parts: boundaries.append(len(items))
+            )
+            try:
+                if parallel:
+                    ingestor.ingest_parallel(stream)
+                else:
+                    ingestor.ingest(stream)
+            finally:
+                if parallel:
+                    ingestor.close_pool(sync=False)
+            assert boundaries == [len(c) for c in chunks_of(stream)], (
+                "pool path" if parallel else "serial path"
+            )
+
+    def test_rebalancing_hooks_survive_inner_swaps(self, line3_query):
+        # A stream hot on the default partition attribute (x2), so a replan
+        # actually fires mid-run while the hooks are registered.
+        rng = random.Random(3)
+        stream = []
+        for i in range(24 * CHUNK):
+            relation = ("R1", "R2", "R3")[i % 3]
+            hot = 0 if rng.random() < 0.7 else rng.randrange(1, 8)
+            if relation == "R1":
+                row = (rng.randrange(100), hot)
+            elif relation == "R2":
+                row = (hot, rng.randrange(8))
+            else:
+                row = (rng.randrange(8), rng.randrange(100))
+            stream.append(StreamTuple(relation, row))
+        ingestor = RebalancingIngestor(
+            line3_query, K, num_shards=2, chunk_size=CHUNK,
+            monitor=SkewMonitor(threshold=1.2, min_tuples=2 * CHUNK,
+                                cooldown_chunks=1),
+            rng=random.Random(5),
+        )
+        count = [0]
+        ingestor.add_boundary_hook(lambda items, parts: count.__setitem__(0, count[0] + 1))
+        ingestor.ingest(stream)
+        assert count[0] == len(chunks_of(stream))
+        assert ingestor.rebalances  # the swap actually happened under the hooks
+
+    def test_async_hooks_fire_at_drain_points_only(self, line3_query, stream):
+        target = BatchIngestor(ReservoirJoin(line3_query, K), chunk_size=CHUNK)
+        fired = []
+        with AsyncIngestor(target, chunk_size=CHUNK, buffer_chunks=4) as ingestor:
+            ingestor.add_boundary_hook(lambda items, parts: fired.append(True))
+            for piece in chunks_of(stream)[:3]:
+                ingestor.submit(piece)
+            assert fired == []          # nothing until a drain
+            ingestor.drain()
+            assert fired == [True]      # one boundary per draining drain
+            assert ingestor.at_boundary
+            ingestor.drain()
+            assert fired == [True]      # idle drain: no new chunks, no event
+            ingestor.submit(chunks_of(stream)[3])
+            assert not ingestor.at_boundary
+            ingestor.drain()
+            assert fired == [True, True]
+
+
+# ---------------------------------------------------------------------- #
+# SampleServer epochs and snapshot isolation
+# ---------------------------------------------------------------------- #
+class TestSampleServer:
+    def test_epoch_counts_chunk_boundaries(self, line3_query, stream):
+        server = SampleServer(
+            BatchIngestor(ReservoirJoin(line3_query, K), chunk_size=CHUNK)
+        )
+        assert server.epoch == 0
+        for expected, piece in enumerate(chunks_of(stream), start=1):
+            server.ingest_batch(piece)
+            assert server.epoch == expected
+        assert server.statistics()["exact_epoch_tracking"] is True
+
+    def test_snapshot_is_bit_identical_to_standalone_prefix(
+        self, line3_query, stream
+    ):
+        server = SampleServer(
+            BatchIngestor(
+                ReservoirJoin(line3_query, K, rng=random.Random(21)),
+                chunk_size=CHUNK,
+            )
+        )
+        standalone = BatchIngestor(
+            ReservoirJoin(line3_query, K, rng=random.Random(21)), chunk_size=CHUNK
+        )
+        for piece in chunks_of(stream):
+            server.ingest_batch(piece)
+            standalone.ingest_batch(piece)
+            assert server.snapshot().sample() == list(standalone.sampler.sample)
+
+    def test_snapshot_isolation_from_later_chunks(self, line3_query, stream):
+        server = SampleServer(
+            BatchIngestor(ReservoirJoin(line3_query, K), chunk_size=CHUNK)
+        )
+        pieces = chunks_of(stream)
+        for piece in pieces[: len(pieces) // 2]:
+            server.ingest_batch(piece)
+        snap = server.snapshot()
+        frozen = snap.sample()
+        for piece in pieces[len(pieces) // 2 :]:
+            server.ingest_batch(piece)
+        assert snap.sample() == frozen          # old cut untouched
+        assert snap.epoch == len(pieces) // 2
+        assert server.snapshot().epoch == len(pieces)
+
+    def test_snapshot_cache_reuse_and_staleness_policy(self, line3_query, stream):
+        server = SampleServer(
+            BatchIngestor(ReservoirJoin(line3_query, K), chunk_size=CHUNK)
+        )
+        pieces = chunks_of(stream)
+        server.ingest_batch(pieces[0])
+        first = server.snapshot()
+        assert server.snapshot() is first       # same epoch: cache hit
+        server.ingest_batch(pieces[1])
+        assert server.snapshot(max_staleness=1) is first   # stale but allowed
+        fresh = server.snapshot()               # staleness 0: must recapture
+        assert fresh is not first and fresh.epoch == 2
+        stats = server.statistics()
+        assert stats["snapshots_taken"] == 2
+        assert stats["snapshot_cache_hits"] == 2
+
+    def test_subset_sampling_and_argument_validation(self, line3_query, stream):
+        server = SampleServer(
+            BatchIngestor(ReservoirJoin(line3_query, K), chunk_size=CHUNK)
+        ).ingest(stream)
+        snap = server.snapshot()
+        full = snap.sample()
+        subset = snap.sample(3, rng=random.Random(1))
+        assert len(subset) == 3
+        assert all(result in full for result in subset)
+        assert subset == snap.sample(3, rng=random.Random(1))  # deterministic
+        assert snap.sample(10 ** 6) == full     # k >= reservoir: the whole thing
+        with pytest.raises(ValueError):
+            snap.sample(0)
+        with pytest.raises(ValueError):
+            server.snapshot(max_staleness=-1)
+
+    def test_serves_sharded_ingestor_with_exact_merge(self, line3_query, stream):
+        server = SampleServer(
+            ShardedIngestor(
+                line3_query, K, num_shards=2, chunk_size=CHUNK,
+                rng=random.Random(9),
+            )
+        )
+        standalone = ShardedIngestor(
+            line3_query, K, num_shards=2, chunk_size=CHUNK, rng=random.Random(9)
+        )
+        for piece in chunks_of(stream):
+            server.ingest_batch(piece)
+            standalone.ingest_batch(piece)
+        snap = server.snapshot()
+        assert snap.merged_sample(
+            K, rng=random.Random(77)
+        ) == standalone.merged_sample(K, rng=random.Random(77))
+
+    def test_serves_async_ingestor_with_drain_point_epochs(
+        self, line3_query, stream
+    ):
+        reference = BatchIngestor(
+            ReservoirJoin(line3_query, K, rng=random.Random(31)), chunk_size=CHUNK
+        )
+        reference.ingest(stream)
+        with AsyncIngestor(
+            BatchIngestor(
+                ReservoirJoin(line3_query, K, rng=random.Random(31)),
+                chunk_size=CHUNK,
+            ),
+            chunk_size=CHUNK,
+            buffer_chunks=4,
+        ) as inner:
+            server = SampleServer(inner)
+            pieces = chunks_of(stream)
+            for piece in pieces[:-1]:
+                server.ingest_batch(piece)
+            # Epochs only advance at drain points — but a freshest read
+            # (max_staleness=0) forces one rather than serving stale data.
+            snap = server.snapshot()
+            assert snap.epoch == server.epoch > 0
+            server.ingest_batch(pieces[-1])
+            server.drain()
+            final = server.snapshot()
+            assert final.sample() == list(reference.sampler.sample)
+
+    def test_bare_sampler_fallback_counts_epochs_itself(self):
+        sampler = PredicateStreamSampler(K, is_even, rng=random.Random(1))
+        server = SampleServer(sampler)
+        server.ingest_batch([("S", (i,)) for i in range(40)])
+        assert server.epoch == 1
+        assert server.statistics()["exact_epoch_tracking"] is False
+        sample = server.snapshot().sample()
+        assert sample and all(row["item"] % 2 == 0 for row in sample)
+
+
+# ---------------------------------------------------------------------- #
+# Predicate views
+# ---------------------------------------------------------------------- #
+class TestPredicateViews:
+    def test_view_samples_matching_items_and_freezes_with_the_cut(
+        self, line3_query, stream
+    ):
+        server = SampleServer(
+            BatchIngestor(ReservoirJoin(line3_query, K), chunk_size=CHUNK),
+            rng=random.Random(13),
+        )
+        server.subscribe(
+            "evens", lambda pair: pair[1][0] % 2 == 0, k=100
+        )
+        pieces = chunks_of(stream)
+        for piece in pieces[: len(pieces) // 2]:
+            server.ingest_batch(piece)
+        mid = server.snapshot()
+        mid_view = mid.view_sample("evens")
+        expected_mid = {
+            result_key({"item": (item.relation, item.row)})
+            for item in stream[: (len(pieces) // 2) * CHUNK]
+            if item.row[0] % 2 == 0
+        }
+        assert {result_key(row) for row in mid_view} == expected_mid
+        for piece in pieces[len(pieces) // 2 :]:
+            server.ingest_batch(piece)
+        assert mid.view_sample("evens") == mid_view     # frozen with the cut
+        final_view = server.snapshot().view_sample("evens")
+        assert len(final_view) > len(mid_view)
+
+    def test_subscription_validation(self, line3_query):
+        server = SampleServer(
+            BatchIngestor(ReservoirJoin(line3_query, K), chunk_size=CHUNK)
+        )
+        server.subscribe("v", lambda pair: True, k=4)
+        with pytest.raises(ValueError):
+            server.subscribe("v", lambda pair: True, k=4)
+        with pytest.raises(TypeError):
+            server.subscribe("w", "not-callable", k=4)
+        with pytest.raises(KeyError):
+            server.snapshot().view_sample("missing")
+
+
+# ---------------------------------------------------------------------- #
+# The asyncio front end
+# ---------------------------------------------------------------------- #
+class TestServerFrontend:
+    def test_run_serves_every_reader_to_the_final_epoch(
+        self, line3_query, stream
+    ):
+        server = SampleServer(
+            BatchIngestor(ReservoirJoin(line3_query, K), chunk_size=CHUNK)
+        )
+        frontend = (
+            ServerFrontend(server, buffer_chunks=4)
+            .add_reader("fresh", k=K, max_staleness=0, min_reads=3)
+            .add_reader("lagged", max_staleness=2, min_reads=3)
+        )
+        stats = frontend.run(chunks_of(stream))
+        assert stats["chunks_written"] == len(chunks_of(stream))
+        assert stats["reader_count"] == 2
+        assert stats["reads_total"] >= 6
+        assert stats["p99_read_latency_ms"] is not None
+        assert stats["writer_wall_seconds"] > 0
+        for reader in stats["readers"].values():
+            assert reader["reads"] >= 3
+            assert reader["last_epoch"] == server.epoch
+        assert server.statistics()["reads_served"] == stats["reads_total"]
+
+    def test_reader_and_buffer_validation(self, line3_query):
+        server = SampleServer(
+            BatchIngestor(ReservoirJoin(line3_query, K), chunk_size=CHUNK)
+        )
+        with pytest.raises(ValueError):
+            ServerFrontend(server, buffer_chunks=0)
+        frontend = ServerFrontend(server)
+        frontend.add_reader("r")
+        with pytest.raises(ValueError):
+            frontend.add_reader("r")
+        with pytest.raises(ValueError):
+            frontend.add_reader("s", max_staleness=-1)
+        with pytest.raises(ValueError):
+            frontend.add_reader("t", min_reads=0)
+
+    def test_quantile_is_nearest_rank(self):
+        assert quantile([], 0.5) is None
+        assert quantile([3.0], 0.99) == 3.0
+        assert quantile([4.0, 1.0, 3.0, 2.0], 0.0) == 1.0
+        assert quantile([4.0, 1.0, 3.0, 2.0], 1.0) == 4.0
+        assert quantile([1.0, 2.0, 3.0, 4.0], 0.5) == 3.0
+        with pytest.raises(ValueError):
+            quantile([1.0], 1.5)
+
+
+# ---------------------------------------------------------------------- #
+# PeriodicCheckpointer (timer mechanics; crash/recovery in test_checkpoint)
+# ---------------------------------------------------------------------- #
+class TestPeriodicCheckpointer:
+    def test_interval_gates_saves_on_a_fake_clock(
+        self, line3_query, stream, tmp_path
+    ):
+        now = [0.0]
+        ingestor = BatchIngestor(ReservoirJoin(line3_query, K), chunk_size=CHUNK)
+        checkpointer = PeriodicCheckpointer(
+            ingestor, str(tmp_path / "periodic.ckpt"), interval_seconds=10.0,
+            clock=lambda: now[0],
+        ).install()
+        pieces = chunks_of(stream)
+        ingestor.ingest_batch(pieces[0])        # t=0: interval not yet elapsed
+        assert checkpointer.checkpoints_written == 0
+        now[0] = 10.0
+        ingestor.ingest_batch(pieces[1])        # t=10: due
+        assert checkpointer.checkpoints_written == 1
+        ingestor.ingest_batch(pieces[2])        # still t=10: not due again
+        assert checkpointer.checkpoints_written == 1
+        now[0] = 25.0
+        ingestor.ingest_batch(pieces[3])
+        assert checkpointer.checkpoints_written == 2
+        stats = checkpointer.statistics()
+        assert stats["boundaries_seen"] == 4
+        assert stats["checkpoints_written"] == 2
+
+    def test_install_guards_and_validation(self, line3_query, tmp_path):
+        ingestor = BatchIngestor(ReservoirJoin(line3_query, K), chunk_size=CHUNK)
+        checkpointer = PeriodicCheckpointer(
+            ingestor, str(tmp_path / "x.ckpt"), interval_seconds=0.0
+        ).install()
+        with pytest.raises(RuntimeError):
+            checkpointer.install()
+        with pytest.raises(ValueError):
+            PeriodicCheckpointer(ingestor, str(tmp_path / "y.ckpt"), -1.0)
+        with pytest.raises(TypeError):
+            PeriodicCheckpointer(object(), str(tmp_path / "z.ckpt"), 1.0)

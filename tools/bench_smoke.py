@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Smoke-run the five ingestion-seam benchmarks at tiny scale.
+"""Smoke-run the six ingestion/serving-seam benchmarks at tiny scale.
 
 CI cannot gate on benchmark *ratios* — on a shared 1-CPU runner the
 measured speedups are noise (the bench-box convention: gate on execution,
@@ -52,6 +52,17 @@ BENCHMARKS = {
         "BENCH_gauntlet.json",
         ("benchmark", "scenarios", "modes", "matrix", "cells_passed"),
     ),
+    "benchmarks/bench_serving.py": (
+        "BENCH_serving.json",
+        (
+            "benchmark",
+            "n_tuples",
+            "modes",
+            "reader_throughput_per_s",
+            "p99_read_latency_ms",
+            "writer_wall_seconds",
+        ),
+    ),
 }
 
 #: report -> {mode row -> fields that must be present and non-null}.  Mode
@@ -68,6 +79,25 @@ MODE_FIELDS = {
             "worker_busy_seconds",
             "transport",
             "overhead_over_serial_total",
+        ),
+    },
+    "BENCH_serving.json": {
+        "writer_baseline": ("writer_wall_seconds", "tuples_per_second"),
+        "served_threads": (
+            "writer_wall_seconds",
+            "writer_overhead_over_baseline",
+            "reader_throughput_per_s",
+            "p50_read_latency_ms",
+            "p99_read_latency_ms",
+            "epochs",
+            "snapshots_taken",
+        ),
+        "served_asyncio": (
+            "writer_wall_seconds",
+            "reader_throughput_per_s",
+            "p99_read_latency_ms",
+            "max_queue_depth",
+            "epochs",
         ),
     },
 }
