@@ -1,0 +1,82 @@
+"""Shared primitives of the columnar (numpy-vectorized) hot path.
+
+The vectorized ingestion paths — hash routing in :mod:`repro.ingest.shard`,
+bulk index maintenance in :mod:`repro.index.tree_index`, skip accounting in
+:mod:`repro.core.batch_reservoir` — all
+
+* operate on *columns*: one component of every row of one relation as an
+  ``int64`` array (:func:`int_column`);
+* reduce per-row dictionary work by *factorization*: :func:`numpy.unique`
+  collapses a column to its distinct values, one scalar lookup/hash runs per
+  distinct value, and the inverse indices broadcast the results back to the
+  rows (exactly equality-consistent with per-row dict lookups, because the
+  ``int64`` coercion of :func:`int_column` preserves Python's numeric
+  equality);
+* keep power-of-two weights as *exponents* (:data:`ZERO_EXP` marking weight
+  zero), so products of approximate counters become int64 additions that can
+  never overflow — the exact weight ``2**e`` is reconstructed as a Python
+  int only where a scalar needs it.
+
+Everything here is gated by :func:`repro.relational.stream.numpy_or_none`:
+with ``REPRO_COLUMNAR=0`` (or without numpy) every caller falls back to the
+pure-Python row path, which is bit-identical by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..relational.stream import int64_array, numpy_or_none
+
+#: Weight-exponent sentinel for "this factor is zero" (an absent or empty
+#: child family).  Any exponent sum touching it stays far below zero, so a
+#: single ``>= 0`` test separates real power-of-two weights from zero
+#: weights — provided individual exponents stay below :data:`MAX_EXP`.
+ZERO_EXP = -(1 << 30)
+
+#: Per-factor exponent cap for the sentinel arithmetic above.  Real counters
+#: never get close (an exponent is the bit length of a count); a factor
+#: beyond the cap sends the caller to the big-int scalar path instead of
+#: risking sentinel overflow.
+MAX_EXP = 1 << 20
+
+#: Below this many rows the array setup of a vectorized path outweighs its
+#: savings and the scalar loop runs instead.  A constant-factor choice only:
+#: both paths produce identical results, so consumers may pick either at any
+#: size without affecting samples.
+VECTOR_MIN_ROWS = 16
+
+def int_column(rows: Sequence[Tuple], position: int):
+    """Component ``position`` of every row as an ``int64`` array, or ``None``.
+
+    ``None`` when the gate is off or any value is not a machine-size Python
+    int (``bool`` counts: it is hash- and equality-consistent with its int
+    value, so grouping the coerced array groups exactly as a dict over the
+    original values would).  Strings, floats and big ints return ``None`` —
+    coercing those would change equality semantics, so they stay on the
+    scalar path.  The type scan runs at C speed inside
+    :func:`~repro.relational.stream.int64_array`.
+    """
+    return int64_array([row[position] for row in rows])
+
+
+def int_columns(rows: Sequence[Tuple]):
+    """A memoising column extractor over ``rows``: ``getter(position)``.
+
+    ``getter(position)`` returns exactly what ``int_column(rows, position)``
+    would, but each position is extracted at most once — consumers that need
+    the same column twice (a family key that is also a child key, say) pay
+    one conversion.  Deliberately *not* a whole-row matrix conversion:
+    ``np.asarray`` over a list of tuples costs several times the per-column
+    list comprehensions for the two or three columns a join-tree node
+    actually touches.
+    """
+    cache: dict = {}
+    def getter(position: int):
+        if position not in cache:
+            cache[position] = int_column(rows, position)
+        return cache[position]
+    return getter
+
+
+__all__ = ["ZERO_EXP", "MAX_EXP", "VECTOR_MIN_ROWS", "int_column", "int_columns"]

@@ -64,10 +64,16 @@ from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
 from ..core.backend import derive_seed
 from ..relational.query import JoinQuery
 from ..relational.schema import tuple_getter
-from ..relational.stream import StreamTuple, as_relation_rows, chunk_stream
+from ..relational.stream import (
+    ColumnarChunk,
+    StreamTuple,
+    as_relation_rows,
+    chunk_stream,
+    numpy_or_none,
+)
 from .batch import DEFAULT_CHUNK_SIZE
 from .checkpoint import CODEC
-from .shard import DEFAULT_NUM_SHARDS, ShardedIngestor, stable_shard_hash
+from .shard import DEFAULT_NUM_SHARDS, ShardedIngestor, route_rows
 
 #: Hottest-shard load over mean load beyond which a partitioning counts as
 #: skewed.  1.5 means "the hot shard does 50% more work than average".
@@ -205,32 +211,47 @@ def simulate_partition(
     every shard.  O(sample size), paid only when the monitor has already
     flagged skew.
     """
-    return _simulate(query, as_relation_rows(deliveries), partition_attr, num_shards)
+    return _simulate(query, deliveries, partition_attr, num_shards)
 
 
 def _simulate(
     query: JoinQuery,
-    pairs: Sequence[Tuple[str, tuple]],
+    items,
     partition_attr: str,
     num_shards: int,
 ) -> RebalancePlan:
-    """:func:`simulate_partition` over already-normalised pairs."""
-    getters: Dict[str, Optional[object]] = {}
+    """:func:`simulate_partition` over a chunk (or anything chunkable).
+
+    Routes through the same :func:`~repro.ingest.shard.route_rows` rule the
+    live router uses — vectorized hashing included, and by construction
+    incapable of predicting a shard the router would not pick.  Passing an
+    already-built :class:`ColumnarChunk` lets the planner score many
+    candidate attributes against one pivot (and one per-attribute column
+    cache).
+    """
+    chunk = items if isinstance(items, ColumnarChunk) else ColumnarChunk.from_items(items)
+    getters: Dict[str, object] = {}
+    positions: Dict[str, int] = {}
     for schema in query.relations:
         if partition_attr in schema.attr_set:
-            getters[schema.name] = tuple_getter(
-                schema.positions_of((partition_attr,))
-            )
-        else:
-            getters[schema.name] = None
-    loads = [0] * num_shards
-    for relation, row in pairs:
-        getter = getters[relation]
-        if getter is None:
-            for shard in range(num_shards):
-                loads[shard] += 1
-        else:
-            loads[stable_shard_hash(getter(row)) % num_shards] += 1
+            attr_positions = schema.positions_of((partition_attr,))
+            getters[schema.name] = tuple_getter(attr_positions)
+            positions[schema.name] = attr_positions[0]
+    assignments = route_rows(chunk, getters, num_shards, positions)
+    np = numpy_or_none()
+    if np is not None and isinstance(assignments, np.ndarray):
+        broadcast = int((assignments < 0).sum())
+        owned = np.bincount(assignments[assignments >= 0], minlength=num_shards)
+        loads = [int(load) + broadcast for load in owned.tolist()]
+    else:
+        loads = [0] * num_shards
+        broadcast = 0
+        for assignment in assignments:
+            if assignment < 0:
+                broadcast += 1
+            else:
+                loads[assignment] += 1
+        loads = [load + broadcast for load in loads]
     return RebalancePlan(partition_attr, num_shards, tuple(loads))
 
 
@@ -251,9 +272,9 @@ def plan_partition(
     candidates = tuple(candidate_attrs) if candidate_attrs else query.output_attrs()
     if not candidates:
         raise ValueError("no candidate partition attributes")
-    pairs = as_relation_rows(deliveries)  # normalise once, simulate many
+    chunk = ColumnarChunk.from_items(deliveries)  # pivot once, simulate many
     plans = [
-        _simulate(query, pairs, attr, shards)
+        _simulate(query, chunk, attr, shards)
         for attr in sorted(candidates)
         for shards in shard_counts
     ]
@@ -338,7 +359,15 @@ class RebalancingIngestor:
         self.tuples_ingested = 0
         self.batches_ingested = 0
         self._chunks_since_plan = 0
-        self._window: Deque[Tuple[str, tuple]] = deque(maxlen=window_tuples)
+        # Window entries are (relation, row, recorded_shard) triples: the
+        # shard the live router assigned at delivery time (-1 = broadcast),
+        # or None when no valid record exists (legacy snapshots, entries
+        # invalidated by a rebalance — the partitioning they were routed
+        # under no longer holds).  Recorded entries let plan() score the
+        # *current* partitioning without re-hashing the window.
+        self._window: Deque[Tuple[str, tuple, Optional[int]]] = deque(
+            maxlen=window_tuples
+        )
         # Boundary hooks live on the *wrapper*, not the inner engine: a
         # rebalance swaps self.inner (fresh engine included), which would
         # silently drop engine-level registrations.
@@ -373,7 +402,14 @@ class RebalancingIngestor:
         pushed = self.inner.ingest_batch(pairs)
         if pushed == 0:
             return 0
-        self._window.extend(pairs)
+        recorded = self.inner.take_last_assignments()
+        if recorded is not None and len(recorded) == len(pairs):
+            self._window.extend(
+                (relation, row, shard)
+                for (relation, row), shard in zip(pairs, recorded)
+            )
+        else:
+            self._window.extend((relation, row, None) for relation, row in pairs)
         self.tuples_ingested += pushed
         self.batches_ingested += 1
         self._chunks_since_plan += 1
@@ -423,23 +459,60 @@ class RebalancingIngestor:
         """
         return self.monitor.report(self.inner, stream_tuples=self.tuples_ingested)
 
+    def _window_pairs(self) -> List[Tuple[str, tuple]]:
+        """The planning window as plain ``(relation, row)`` pairs."""
+        return [(relation, row) for relation, row, _ in self._window]
+
+    def _simulate_current(self) -> RebalancePlan:
+        """The current partitioning's plan, reusing recorded routing.
+
+        Most window entries carry the shard the live router assigned at
+        delivery time, so scoring the *current* partitioning is mostly a
+        counting pass; only entries without a valid record (legacy
+        snapshots, pre-rebalance leftovers) are re-hashed — through the
+        same :func:`~repro.ingest.shard.route_rows` rule, so the result is
+        identical to simulating the whole window from scratch.
+        """
+        num_shards = self.inner.num_shards
+        loads = [0] * num_shards
+        broadcast = 0
+        unrecorded: List[Tuple[str, tuple]] = []
+        for relation, row, shard in self._window:
+            if shard is None:
+                unrecorded.append((relation, row))
+            elif shard < 0:
+                broadcast += 1
+            else:
+                loads[shard] += 1
+        if unrecorded:
+            partial = _simulate(
+                self.query, unrecorded, self.inner.partition_attr, num_shards
+            )
+            loads = [
+                load + extra for load, extra in zip(loads, partial.predicted_loads)
+            ]
+        return RebalancePlan(
+            self.inner.partition_attr,
+            num_shards,
+            tuple(load + broadcast for load in loads),
+        )
+
     def plan(self) -> Tuple[RebalancePlan, RebalancePlan]:
         """Simulate candidate partitionings; ``(best, current)`` plans.
 
         Both are scored over the same recent-delivery window (O(window) per
         candidate), so the comparison is apples to apples.  ``best`` may
-        equal ``current``'s configuration when nothing cooler exists.
+        equal ``current``'s configuration when nothing cooler exists.  The
+        current plan reuses the shard assignments recorded at delivery time
+        (:meth:`_simulate_current`) instead of re-hashing the window.
         """
-        window = list(self._window)
         shard_counts = [self.inner.num_shards]
         if self.allow_split and self.inner.num_shards * 2 <= self.max_shards:
             shard_counts.append(self.inner.num_shards * 2)
         best = plan_partition(
-            self.query, window, self.candidate_attrs, tuple(shard_counts)
+            self.query, self._window_pairs(), self.candidate_attrs, tuple(shard_counts)
         )
-        current = _simulate(
-            self.query, window, self.inner.partition_attr, self.inner.num_shards
-        )
+        current = self._simulate_current()
         return best, current
 
     def maybe_rebalance(self) -> Optional[RebalanceEvent]:
@@ -483,7 +556,7 @@ class RebalancingIngestor:
         else:
             best = _simulate(
                 self.query,
-                list(self._window),
+                self._window_pairs(),
                 partition_attr or self.inner.partition_attr,
                 num_shards or self.inner.num_shards,
             )
@@ -515,6 +588,14 @@ class RebalancingIngestor:
         replay_seconds = time.perf_counter() - replay_start
         self.inner = fresh
         self._chunks_since_plan = 0
+        # The replay consumed the fresh router's delivery record, and the
+        # window's recorded shards were routed under the *old* partitioning
+        # — invalidate them so future planning re-hashes these entries.
+        fresh.take_last_assignments()
+        self._window = deque(
+            ((relation, row, None) for relation, row, _ in self._window),
+            maxlen=self._window.maxlen,
+        )
 
         event = RebalanceEvent(
             at_tuples=self.tuples_ingested,
@@ -592,7 +673,15 @@ class RebalancingIngestor:
         )
         ingestor._rng.setstate(state["rng"])
         ingestor.inner = inner
-        ingestor._window = deque(state["window"], maxlen=state["window_maxlen"])
+        # Pre-routing-record snapshots stored bare (relation, row) pairs;
+        # normalise them to unrecorded triples (the planner re-hashes those).
+        ingestor._window = deque(
+            (
+                (entry[0], entry[1], entry[2] if len(entry) == 3 else None)
+                for entry in state["window"]
+            ),
+            maxlen=state["window_maxlen"],
+        )
         ingestor.rebalances = list(state["rebalances"])
         ingestor.plans_attempted = state["plans_attempted"]
         ingestor.tuples_ingested = state["tuples_ingested"]

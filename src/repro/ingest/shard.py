@@ -53,15 +53,17 @@ import itertools
 import random
 import time
 from bisect import bisect_right
+from functools import lru_cache
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.backend import derive_seed, restore_backend, snapshot_backend
 from ..core.reservoir_join import ReservoirJoin
+from ..core.vectorized import VECTOR_MIN_ROWS
 from ..relational.join import count_results
 from ..relational.query import JoinQuery
 from ..relational.schema import tuple_getter
-from ..relational.stream import StreamTuple, validated_items
+from ..relational.stream import ColumnarChunk, StreamTuple, numpy_or_none
 from .batch import DEFAULT_CHUNK_SIZE, BatchIngestor
 from .checkpoint import CODEC, CheckpointMismatchError
 from .engine import EngineLane, IngestionEngine
@@ -105,6 +107,116 @@ def stable_shard_hash(value: Sequence) -> int:
             hasher.update(b"h")
             hasher.update(hash(component).to_bytes(9, "big", signed=True))
     return int.from_bytes(hasher.digest(), "big")
+
+
+@lru_cache(maxsize=1 << 16)
+def _hash_single(value) -> int:
+    """Memoized ``stable_shard_hash((value,))`` for single-attribute keys.
+
+    Join-key domains are small relative to stream length, so the same values
+    recur chunk after chunk; caching the digest per distinct value turns the
+    steady-state cost of :func:`stable_shard_hash_column` into pure array
+    work.  Safe despite ``1 == 1.0 == True`` cache collisions: the digest is
+    equality-consistent by design, so colliding keys map to identical
+    digests anyway.
+    """
+    return stable_shard_hash((value,))
+
+
+def stable_shard_hash_column(column):
+    """Vectorized batch form of :func:`stable_shard_hash` over an int column.
+
+    ``column`` is an ``int64`` array of single-attribute projection values
+    (one per row); the result is a ``uint64`` array with ``out[i] ==
+    stable_shard_hash((int(column[i]),))`` — the digest itself is not
+    re-implemented in array ops (it cannot drift from the scalar) but
+    *factorized*: :func:`numpy.unique` collapses the column to its distinct
+    values, one scalar digest runs per distinct value (memoized across
+    chunks by :func:`_hash_single`), and the inverse indices broadcast the
+    results back.  Join-value columns repeat heavily (that is what makes
+    them join keys), so this turns a blake2b per row into a cache hit per
+    distinct value plus O(n log n) array work.
+    """
+    np = numpy_or_none()
+    uniques, inverse = np.unique(column, return_inverse=True)
+    hashes = np.fromiter(
+        (_hash_single(value) for value in uniques.tolist()),
+        dtype=np.uint64,
+        count=len(uniques),
+    )
+    return hashes[inverse]
+
+
+def route_rows(
+    items,
+    getters: Dict[str, Callable],
+    num_shards: int,
+    positions: Optional[Dict[str, int]] = None,
+) -> Sequence[int]:
+    """Shard assignments for a chunk: per stream position, the owning shard
+    index, or ``-1`` for a broadcast tuple.
+
+    This is *the* routing rule — :meth:`ShardedIngestor.shard_of`, the chunk
+    splitter behind :meth:`ShardedIngestor.partition` (serial and pool wire
+    paths alike) and the rebalancer's plan simulation all resolve shards
+    through this one helper, so the vectorized and scalar routers cannot
+    drift.
+
+    ``items`` is a :class:`~repro.relational.stream.ColumnarChunk` (or
+    anything :meth:`ColumnarChunk.from_items` accepts); ``getters`` maps the
+    relations carrying the partition attribute to their projection getters —
+    relations absent from it broadcast.  ``positions`` optionally maps those
+    relations to the attribute's column position, enabling the vectorized
+    hash for machine-int columns; every other column falls back to the
+    scalar hash loop with identical results.  Returns an ``int64`` array
+    when the columnar gate is on, else a plain list — indexed by stream
+    position either way.
+    """
+    chunk = items if isinstance(items, ColumnarChunk) else ColumnarChunk.from_items(items)
+    np = numpy_or_none()
+    per_relation: List[Optional[Sequence[int]]] = []
+    for relation in chunk.relations:
+        rows = chunk.rows[relation]
+        getter = getters.get(relation)
+        if getter is None:
+            per_relation.append(None)  # broadcast
+            continue
+        column = None
+        if np is not None and positions is not None:
+            position = positions.get(relation)
+            if position is not None and len(rows) >= VECTOR_MIN_ROWS:
+                column = chunk.column(relation, position)
+        if column is not None:
+            per_relation.append(
+                (stable_shard_hash_column(column) % np.uint64(num_shards)).astype(
+                    np.int64
+                )
+            )
+        else:
+            per_relation.append(
+                [stable_shard_hash(getter(row)) % num_shards for row in rows]
+            )
+    if np is not None:
+        out = np.empty(len(chunk), dtype=np.int64)
+        order = np.asarray(chunk.order, dtype=np.int64)
+        for index, assignments in enumerate(per_relation):
+            slots = np.nonzero(order == index)[0]
+            if assignments is None:
+                out[slots] = -1
+            else:
+                out[slots] = np.asarray(assignments, dtype=np.int64)
+        return out
+    cursors = [0] * len(chunk.relations)
+    out_list: List[int] = []
+    for index in chunk.order:
+        assignments = per_relation[index]
+        if assignments is None:
+            out_list.append(-1)
+        else:
+            cursor = cursors[index]
+            cursors[index] = cursor + 1
+            out_list.append(assignments[cursor])
+    return out_list
 
 
 def partition_attribute(query: JoinQuery) -> str:
@@ -233,13 +345,20 @@ class ShardedIngestor:
             ],
         )
         # Projection getters for the relations that carry the partition
-        # attribute; every other relation is broadcast.
+        # attribute; every other relation is broadcast.  The positions map
+        # carries the same information in the form the vectorized router
+        # needs (a single attribute always projects one column).
         self._value_getters: Dict[str, Callable] = {}
+        self._value_positions: Dict[str, int] = {}
         for schema in query.relations:
             if self.partition_attr in schema.attr_set:
-                self._value_getters[schema.name] = tuple_getter(
-                    schema.positions_of((self.partition_attr,))
-                )
+                positions = schema.positions_of((self.partition_attr,))
+                self._value_getters[schema.name] = tuple_getter(positions)
+                self._value_positions[schema.name] = positions[0]
+        # Stream-order shard assignments of the most recently *delivered*
+        # chunk (see take_last_assignments) — lets the rebalancing planner
+        # reuse routing work instead of re-hashing the window.
+        self._last_assignments: Optional[Sequence[int]] = None
         self.tuples_ingested = 0
         self.batches_ingested = 0
         self.broadcast_deliveries = 0
@@ -309,14 +428,20 @@ class ShardedIngestor:
 
     def shard_of(self, relation: str, row: Sequence) -> Optional[int]:
         """The shard owning ``(relation, row)``, or ``None`` for broadcast."""
-        getter = self._value_getters.get(relation)
-        if getter is None:
+        if relation not in self._value_getters:
             if relation not in self.query:
                 raise KeyError(
                     f"relation {relation!r} is not part of query {self.query.name!r}"
                 )
             return None
-        return stable_shard_hash(getter(tuple(row))) % self.num_shards
+        row = tuple(row)
+        chunk = ColumnarChunk((relation,), {relation: [row]}, [0])
+        assignment = int(
+            route_rows(
+                chunk, self._value_getters, self.num_shards, self._value_positions
+            )[0]
+        )
+        return None if assignment < 0 else assignment
 
     def partition(self, items: Iterable) -> List[List[Tuple[str, Tuple]]]:
         """Split a batch into per-shard ``(relation, row)`` sub-batches.
@@ -328,35 +453,68 @@ class ShardedIngestor:
         the delivery points (:meth:`ingest_batch`, :meth:`ingest_parallel`,
         the async transport driver) use :meth:`_route` instead.
         """
-        return self._split(validated_items(items, self.query), count=False)
+        return self._split(items, count=False)
 
     def _route(self, items: Iterable) -> List[List[Tuple[str, Tuple]]]:
         """:meth:`partition` plus the ``relation_deliveries`` accounting.
 
         The internal delivery point: tuples routed through here are being
         *delivered* to shards, so the per-relation observability counters
-        advance exactly once per stream tuple.
+        advance exactly once per stream tuple (and the chunk's shard
+        assignments are recorded for :meth:`take_last_assignments`).
         """
-        return self._split(validated_items(items, self.query), count=True)
+        return self._split(items, count=True)
 
     def _split(
-        self, pairs: List[Tuple[str, Tuple]], count: bool
+        self, items: Iterable, count: bool
     ) -> List[List[Tuple[str, Tuple]]]:
-        parts: List[List[Tuple[str, Tuple]]] = [[] for _ in range(self.num_shards)]
-        getters = self._value_getters
-        deliveries = self.relation_deliveries
+        chunk = (
+            items if isinstance(items, ColumnarChunk) else ColumnarChunk.from_items(items)
+        )
+        chunk.validate(self.query)
+        assignments = route_rows(
+            chunk, self._value_getters, self.num_shards, self._value_positions
+        )
+        if count:
+            deliveries = self.relation_deliveries
+            for relation in chunk.relations:
+                deliveries[relation] += len(chunk.rows[relation])
+            self._last_assignments = assignments
+        pairs = chunk.to_pairs()
         num_shards = self.num_shards
-        for pair in pairs:
-            relation = pair[0]
-            if count:
-                deliveries[relation] += 1
-            getter = getters.get(relation)
-            if getter is None:
+        np = numpy_or_none()
+        if np is not None and isinstance(assignments, np.ndarray):
+            broadcast = assignments < 0
+            return [
+                [pairs[i] for i in np.nonzero((assignments == shard) | broadcast)[0].tolist()]
+                for shard in range(num_shards)
+            ]
+        parts: List[List[Tuple[str, Tuple]]] = [[] for _ in range(num_shards)]
+        for pair, assignment in zip(pairs, assignments):
+            if assignment < 0:
                 for part in parts:
                     part.append(pair)
             else:
-                parts[stable_shard_hash(getter(pair[1])) % num_shards].append(pair)
+                parts[assignment].append(pair)
         return parts
+
+    def take_last_assignments(self) -> Optional[List[int]]:
+        """Stream-order shard assignments of the last delivered chunk.
+
+        One entry per stream tuple of the chunk most recently routed through
+        a delivery point (``-1`` marks a broadcast tuple), or ``None`` when
+        no delivery happened since the previous take.  Consumed — cleared on
+        read — so a caller can never mistake a stale chunk's routing for the
+        current one.  This is how :class:`~repro.ingest.rebalance
+        .RebalancingIngestor` reuses delivery-time routing during planning
+        instead of re-hashing its whole window.
+        """
+        assignments, self._last_assignments = self._last_assignments, None
+        if assignments is None:
+            return None
+        if hasattr(assignments, "tolist"):
+            return [int(a) for a in assignments.tolist()]
+        return [int(a) for a in assignments]
 
     # ------------------------------------------------------------------ #
     # The worker-pool runtime

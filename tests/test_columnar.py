@@ -1,0 +1,381 @@
+"""Tests for the columnar hot path (``ColumnarChunk`` + vectorized loops).
+
+Covers the lossless row↔columnar pivot, the ``column`` int64 extraction
+rules, the single ``route_rows`` routing rule (vectorized ≡ scalar), the
+recorded-assignment plumbing (``take_last_assignments``), the
+``ingest_columnar`` capability probe and its ``REPRO_COLUMNAR=0`` fallback,
+and unit-level bit-identity of each vectorized loop against its scalar
+twin: ``BucketFamily.add_many``, ``TreeIndex.insert_rows`` /
+``delta_batch_sizes`` and ``BatchedPredicateReservoir
+.process_deferred_many``.  End-to-end bit-identity across whole ingestion
+modes lives in ``tests/statistical/test_properties.py`` (section h).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import BatchIngestor, ReservoirJoin, ShardedIngestor
+from repro.core.backend import chunk_apply, probe_backend
+from repro.core.batch_reservoir import BatchedPredicateReservoir
+from repro.core.skippable import ListBatch
+from repro.core.vectorized import VECTOR_MIN_ROWS, int_column
+from repro.index.buckets import BucketFamily
+from repro.index.tree_index import TreeIndex
+from repro.relational import ColumnarChunk, Database, StreamTuple, columnar_enabled
+from repro.relational.jointree import JoinTree
+from repro.ingest.shard import (
+    route_rows,
+    stable_shard_hash,
+    stable_shard_hash_column,
+)
+from repro.relational.schema import tuple_getter
+
+numpy_available = pytest.mark.skipif(
+    not columnar_enabled(), reason="columnar gate is off (no numpy or REPRO_COLUMNAR=0)"
+)
+
+
+def chain3_stream(query, n, seed, domain=40):
+    rng = random.Random(seed)
+    names = query.relation_names
+    return [
+        StreamTuple(names[i % len(names)], (rng.randrange(domain), rng.randrange(domain)))
+        for i in range(n)
+    ]
+
+
+# ---------------------------------------------------------------------- #
+# ColumnarChunk: lossless pivot + column extraction
+# ---------------------------------------------------------------------- #
+class TestColumnarChunk:
+    def test_round_trip_is_exact(self, line3_query):
+        stream = chain3_stream(line3_query, 101, seed=1)
+        pairs = [(item.relation, item.row) for item in stream]
+        chunk = ColumnarChunk.from_items(stream)
+        assert len(chunk) == len(pairs)
+        assert chunk.to_pairs() == pairs
+
+    def test_accepts_pairs_and_stream_tuples_mixed(self):
+        items = [("R1", (1, 2)), StreamTuple("R2", (3, 4)), ("R1", [5, 6])]
+        chunk = ColumnarChunk.from_items(items)
+        assert chunk.relations == ("R1", "R2")
+        assert chunk.to_pairs() == [("R1", (1, 2)), ("R2", (3, 4)), ("R1", (5, 6))]
+
+    def test_relations_appear_in_first_appearance_order(self):
+        chunk = ColumnarChunk.from_items(
+            [("B", (1,)), ("A", (2,)), ("B", (3,)), ("C", (4,))]
+        )
+        assert chunk.relations == ("B", "A", "C")
+        assert chunk.rows["B"] == [(1,), (3,)]
+
+    def test_empty_chunk(self):
+        chunk = ColumnarChunk.from_items([])
+        assert len(chunk) == 0
+        assert chunk.to_pairs() == []
+
+    def test_validate_unknown_relation(self, line3_query):
+        chunk = ColumnarChunk.from_items([("R1", (1, 2)), ("NOPE", (3, 4))])
+        with pytest.raises(KeyError):
+            chunk.validate(line3_query)
+
+    def test_validate_bad_arity(self, line3_query):
+        chunk = ColumnarChunk.from_items([("R1", (1, 2)), ("R2", (1, 2, 3))])
+        with pytest.raises(ValueError):
+            chunk.validate(line3_query)
+
+    @numpy_available
+    def test_column_extracts_int64(self):
+        chunk = ColumnarChunk.from_items([("R", (7, 1)), ("R", (8, 2)), ("R", (True, 3))])
+        column = chunk.column("R", 0)
+        assert column is not None
+        assert column.tolist() == [7, 8, 1]  # bool coerces to its int value
+
+    @numpy_available
+    @pytest.mark.parametrize(
+        "value", ["x", 1.5, 2 ** 63, -(2 ** 63) - 1, None, (1,)]
+    )
+    def test_column_refuses_non_machine_ints(self, value):
+        chunk = ColumnarChunk.from_items([("R", (1, 0)), ("R", (value, 0))])
+        assert chunk.column("R", 0) is None
+        assert chunk.column("R", 1) is not None  # other positions unaffected
+
+    @numpy_available
+    def test_column_is_cached(self):
+        chunk = ColumnarChunk.from_items([("R", (1, 2)), ("R", (3, 4))])
+        assert chunk.column("R", 0) is chunk.column("R", 0)
+
+    def test_gate_off_disables_columns(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COLUMNAR", "0")
+        assert not columnar_enabled()
+        chunk = ColumnarChunk.from_items([("R", (1, 2)), ("R", (3, 4))])
+        assert chunk.column("R", 0) is None
+        assert chunk.to_pairs() == [("R", (1, 2)), ("R", (3, 4))]
+
+    def test_int_column_mirrors_the_same_rules(self, monkeypatch):
+        rows = [(1, "a"), (2, "b"), (True, "c")]
+        column = int_column(rows, 0)
+        if columnar_enabled():
+            assert column is not None and column.tolist() == [1, 2, 1]
+        assert int_column(rows, 1) is None
+        monkeypatch.setenv("REPRO_COLUMNAR", "0")
+        assert int_column(rows, 0) is None
+
+
+# ---------------------------------------------------------------------- #
+# Routing: one rule, vectorized ≡ scalar
+# ---------------------------------------------------------------------- #
+class TestRouteRows:
+    @numpy_available
+    def test_hash_column_matches_scalar_hash(self):
+        import numpy as np
+
+        values = [0, 1, -5, 7, 7, 2 ** 62, -(2 ** 62), 1]
+        column = np.array(values, dtype=np.int64)
+        got = stable_shard_hash_column(column).tolist()
+        expected = [stable_shard_hash((value,)) % 2 ** 64 for value in values]
+        assert got == expected
+
+    def _setup(self, query, attr="x2"):
+        getters, positions = {}, {}
+        for schema in query.relations:
+            if attr in schema.attrs:
+                where = schema.positions_of((attr,))
+                getters[schema.name] = tuple_getter(where)
+                positions[schema.name] = where[0]
+        return getters, positions
+
+    def test_vectorized_and_scalar_routes_agree(self, line3_query, monkeypatch):
+        stream = chain3_stream(line3_query, 30 * VECTOR_MIN_ROWS, seed=2)
+        getters, positions = self._setup(line3_query)
+        fast = [int(a) for a in route_rows(stream, getters, 8, positions)]
+        monkeypatch.setenv("REPRO_COLUMNAR", "0")
+        slow = [int(a) for a in route_rows(stream, getters, 8, positions)]
+        assert fast == slow
+        assert any(a == -1 for a in fast)  # R3 has no x2 → broadcast
+
+    def test_broadcast_relations_route_to_minus_one(self, line3_query):
+        getters, positions = self._setup(line3_query)
+        assignments = route_rows(
+            [("R3", (1, 2))] * (2 * VECTOR_MIN_ROWS), getters, 4, positions
+        )
+        assert all(int(a) == -1 for a in assignments)
+
+    def test_shard_of_agrees_with_route_rows(self, line3_query):
+        ingestor = ShardedIngestor(
+            line3_query, k=5, num_shards=4, chunk_size=16, rng=random.Random(0)
+        )
+        stream = chain3_stream(line3_query, 3 * VECTOR_MIN_ROWS, seed=3)
+        getters, positions = self._setup(line3_query)
+        assignments = route_rows(stream, getters, 4, positions)
+        for item, assignment in zip(stream, assignments):
+            expected = None if int(assignment) < 0 else int(assignment)
+            assert ingestor.shard_of(item.relation, item.row) == expected
+
+    def test_non_int_partition_values_fall_back_to_scalar(self, monkeypatch):
+        from repro.relational import JoinQuery
+
+        query = JoinQuery.from_spec("two", {"S": ["a", "b"], "T": ["b", "c"]})
+        stream = [
+            StreamTuple(("S", "T")[i % 2], (f"v{i % 9}", f"w{i % 7}"))
+            for i in range(4 * VECTOR_MIN_ROWS)
+        ]
+        getters, positions = {}, {}
+        for schema in query.relations:
+            where = schema.positions_of(("b",))
+            getters[schema.name] = tuple_getter(where)
+            positions[schema.name] = where[0]
+        fast = [int(a) for a in route_rows(stream, getters, 4, positions)]
+        monkeypatch.setenv("REPRO_COLUMNAR", "0")
+        slow = [int(a) for a in route_rows(stream, getters, 4, positions)]
+        assert fast == slow
+
+
+class TestTakeLastAssignments:
+    def test_delivery_records_stream_order_assignments(self, line3_query):
+        ingestor = ShardedIngestor(
+            line3_query, k=10, num_shards=4, chunk_size=64, rng=random.Random(1)
+        )
+        chunk = chain3_stream(line3_query, 48, seed=4)
+        ingestor.ingest_batch(chunk)
+        recorded = ingestor.take_last_assignments()
+        assert recorded is not None and len(recorded) == len(chunk)
+        for item, assignment in zip(chunk, recorded):
+            expected = ingestor.shard_of(item.relation, item.row)
+            assert assignment == (-1 if expected is None else expected)
+
+    def test_cleared_on_read_and_not_set_by_partition(self, line3_query):
+        ingestor = ShardedIngestor(
+            line3_query, k=10, num_shards=4, chunk_size=64, rng=random.Random(1)
+        )
+        chunk = chain3_stream(line3_query, 24, seed=5)
+        ingestor.ingest_batch(chunk)
+        assert ingestor.take_last_assignments() is not None
+        assert ingestor.take_last_assignments() is None  # consumed
+        ingestor.partition(chunk)  # inspection, not delivery
+        assert ingestor.take_last_assignments() is None
+
+
+# ---------------------------------------------------------------------- #
+# Capability probe + fallback
+# ---------------------------------------------------------------------- #
+class TestCapabilityProbe:
+    def test_reservoir_join_probes_columnar_when_enabled(self, line3_query):
+        sampler = ReservoirJoin(line3_query, 5, rng=random.Random(0))
+        capabilities = probe_backend(sampler)
+        assert capabilities.ingest_columnar
+        assert capabilities.as_dict()["ingest_columnar"] is True
+        _, mode = chunk_apply(sampler)
+        assert mode == ("ingest_columnar" if columnar_enabled() else "insert_batch")
+
+    def test_gate_off_falls_back_to_insert_batch(self, line3_query, monkeypatch):
+        monkeypatch.setenv("REPRO_COLUMNAR", "0")
+        sampler = ReservoirJoin(line3_query, 5, rng=random.Random(0))
+        _, mode = chunk_apply(sampler)
+        assert mode == "insert_batch"
+        ingestor = BatchIngestor(sampler, chunk_size=32)
+        assert ingestor.uses_fast_path  # insert_batch still counts as fast
+
+    def test_ingest_columnar_validates_before_mutating(self, line3_query):
+        sampler = ReservoirJoin(line3_query, 5, rng=random.Random(0))
+        bad = ColumnarChunk.from_items([("R1", (1, 2)), ("R2", (1, 2, 3))])
+        with pytest.raises(ValueError):
+            sampler.ingest_columnar(bad)
+        assert sampler.tuples_processed == 0
+
+    def test_ingest_columnar_counts_every_tuple_once(self, line3_query):
+        stream = chain3_stream(line3_query, 90, seed=6)
+        sampler = ReservoirJoin(line3_query, 5, rng=random.Random(0))
+        inserted = sampler.ingest_columnar(ColumnarChunk.from_items(stream))
+        assert sampler.tuples_processed == len(stream)
+        assert 0 <= inserted <= len(stream)
+
+
+# ---------------------------------------------------------------------- #
+# Vectorized loop ≡ scalar loop, unit by unit
+# ---------------------------------------------------------------------- #
+def family_state(family):
+    return (
+        family.cnt,
+        family.approx,
+        {
+            exponent: list(bucket)
+            for exponent, bucket in family._buckets.items()
+            if len(bucket)
+        },
+    )
+
+
+class TestAddMany:
+    def test_add_many_matches_sequential_reweights(self):
+        entities = [(i, i + 1) for i in range(25)]
+        exponents = [i % 5 for i in range(25)]
+        batch, sequential = BucketFamily(), BucketFamily()
+        batch.add_many(entities, exponents)
+        for entity, exponent in zip(entities, exponents):
+            sequential.reweight_one(entity, 0, 1 << exponent)
+        assert family_state(batch) == family_state(sequential)
+
+    def test_add_many_preserves_insertion_order_per_bucket(self):
+        family = BucketFamily()
+        family.add_many([(3,), (1,), (2,)], [4, 4, 4])
+        assert list(family._buckets[4]) == [(3,), (1,), (2,)]
+
+
+def index_state(index):
+    return {
+        node: {key: family_state(family) for key, family in families.items()}
+        for node, families in index._families.items()
+    }
+
+
+class TestTreeIndexParity:
+    def drive(self, query, stream, chunk, monkeypatch=None):
+        database = Database(query)
+        tree = JoinTree(query)
+        root = query.relation_names[0]
+        index = TreeIndex(tree.rooted_at(root), database)
+        by_relation = {}
+        for item in stream:
+            if database.insert(item.relation, item.row):
+                by_relation.setdefault(item.relation, []).append(item.row)
+        for relation, rows in by_relation.items():
+            for start in range(0, len(rows), chunk):
+                index.insert_rows(relation, rows[start:start + chunk])
+        sizes = [
+            index.delta_batch_sizes(by_relation.get(name, []))
+            for name in query.relation_names
+        ]
+        return index_state(index), sizes
+
+    @numpy_available
+    def test_insert_rows_columnar_matches_scalar(self, line3_query, monkeypatch):
+        stream = chain3_stream(line3_query, 40 * VECTOR_MIN_ROWS, seed=7, domain=25)
+        fast = self.drive(line3_query, stream, chunk=8 * VECTOR_MIN_ROWS)
+        monkeypatch.setenv("REPRO_COLUMNAR", "0")
+        slow = self.drive(line3_query, stream, chunk=8 * VECTOR_MIN_ROWS)
+        assert fast == slow
+
+    @numpy_available
+    def test_small_chunks_take_the_scalar_path_identically(self, line3_query, monkeypatch):
+        stream = chain3_stream(line3_query, 20 * VECTOR_MIN_ROWS, seed=8, domain=12)
+        fast = self.drive(line3_query, stream, chunk=VECTOR_MIN_ROWS - 1)
+        monkeypatch.setenv("REPRO_COLUMNAR", "0")
+        slow = self.drive(line3_query, stream, chunk=VECTOR_MIN_ROWS - 1)
+        assert fast == slow
+
+
+class TestDeferredPrefixParity:
+    def run(self, sizes, seed):
+        reservoir = BatchedPredicateReservoir(7, rng=random.Random(seed))
+        payload = iter(range(10 ** 9))
+        reservoir.process_deferred_many(
+            sizes,
+            lambda size: ListBatch([next(payload) for _ in range(size)]),
+            sizes,
+        )
+        return reservoir.sample, reservoir.snapshot_state()
+
+    @numpy_available
+    def test_prefix_skip_matches_scalar_loop(self, monkeypatch):
+        rng = random.Random(9)
+        sizes = [rng.choice([0, 1, 2, 5, 40]) for _ in range(40 * VECTOR_MIN_ROWS)]
+        fast_sample, fast_state = self.run(sizes, seed=11)
+        monkeypatch.setenv("REPRO_COLUMNAR", "0")
+        slow_sample, slow_state = self.run(sizes, seed=11)
+        assert fast_sample == slow_sample
+        assert fast_state == slow_state
+
+    @numpy_available
+    def test_astronomic_sizes_skip_wholesale(self):
+        import math
+
+        reservoir = BatchedPredicateReservoir(2, rng=random.Random(3))
+        while math.isinf(reservoir._w):  # fill the sample so skips apply
+            reservoir.process_batch(ListBatch([1, 2]))
+
+        def must_not_build(arg):  # pragma: no cover - the point is it never runs
+            raise AssertionError("wholesale-skipped batches must never be built")
+
+        # Delta sizes are products of approximate counters, so they can
+        # exceed any machine word; the prefix path carries them as Python
+        # ints and covers them with the same wholesale-skip arithmetic.
+        sizes = [2 ** 80] * (2 * VECTOR_MIN_ROWS)
+        total_before = reservoir.items_total
+        batches_before = reservoir.batches_processed
+        reservoir._pending_skip = sum(sizes) + 5
+        reservoir.process_deferred_many(sizes, must_not_build, sizes)
+        assert reservoir.items_total == total_before + sum(sizes)
+        assert reservoir.batches_processed == batches_before + len(sizes)
+        assert reservoir._pending_skip == 5
+
+    def test_negative_size_raises_before_mutation(self):
+        reservoir = BatchedPredicateReservoir(2, rng=random.Random(3))
+        sizes = [1] * (2 * VECTOR_MIN_ROWS) + [-1]
+        with pytest.raises(ValueError):
+            reservoir.process_deferred_many(
+                sizes, lambda size: ListBatch(range(size)), sizes
+            )
+        assert reservoir.items_total == 0

@@ -308,3 +308,62 @@ class TestValidation:
         ingestor = make_rebalancing(line3_query)
         assert ingestor.ingest_batch([]) == 0
         assert ingestor.batches_ingested == 0
+
+
+# ---------------------------------------------------------------------- #
+# Recorded delivery routing (reused during planning)
+# ---------------------------------------------------------------------- #
+class TestRecordedRouting:
+    """The planner reuses delivery-time shard assignments; output is pinned
+    to what re-hashing the whole window produces."""
+
+    def test_window_entries_carry_recorded_shards(self, line3_query):
+        ingestor = make_rebalancing(line3_query)
+        ingestor.ingest(uniform_stream(1200, seed=21))
+        assert len(ingestor._window) == 1200
+        assert all(shard is not None for _, _, shard in ingestor._window)
+        for relation, row, shard in list(ingestor._window)[:200]:
+            expected = ingestor.inner.shard_of(relation, row)
+            assert shard == (-1 if expected is None else expected)
+
+    def test_plan_is_identical_with_and_without_records(self, line3_query):
+        from collections import deque
+
+        ingestor = make_rebalancing(line3_query)
+        ingestor.ingest(skewed_stream(3000, seed=22))
+        recorded_best, recorded_current = ingestor.plan()
+        # Strip every record: the planner must re-hash the window through
+        # the same routing rule and land on the exact same plans.
+        ingestor._window = deque(
+            ((relation, row, None) for relation, row, _ in ingestor._window),
+            maxlen=ingestor._window.maxlen,
+        )
+        rehashed_best, rehashed_current = ingestor.plan()
+        assert recorded_best == rehashed_best
+        assert recorded_current == rehashed_current
+
+    def test_rebalance_invalidates_stale_records(self, line3_query):
+        ingestor = make_rebalancing(line3_query, min_tuples=500, threshold=1.1)
+        ingestor.ingest(skewed_stream(4000, seed=23))
+        assert len(ingestor.rebalances) >= 1
+        # Every record in the window was re-validated or re-hashed against
+        # the *new* partitioning: the current plan must equal a from-scratch
+        # simulation under the adopted attribute.
+        _, current = ingestor.plan()
+        scratch = plan_partition(
+            ingestor.query,
+            ingestor._window_pairs(),
+            (ingestor.partition_attr,),
+            (ingestor.num_shards,),
+        )
+        assert current == scratch
+
+    def test_snapshot_restores_legacy_pair_windows(self, line3_query):
+        ingestor = make_rebalancing(line3_query)
+        ingestor.ingest(uniform_stream(900, seed=24))
+        reference = ingestor.plan()
+        state = ingestor.snapshot_state()
+        # Legacy snapshots stored (relation, row) pairs without a shard.
+        state["window"] = [(relation, row) for relation, row, _ in state["window"]]
+        restored = RebalancingIngestor.from_snapshot(state)
+        assert restored.plan() == reference
