@@ -21,7 +21,7 @@ test: unit docs-check
 # otherwise never exercise end to end.
 test-smoke: unit docs-check
 	REPRO_POOL_TRANSPORT=pipe python -m pytest tests/test_pool.py tests/test_shard_ingest.py -q
-	REPRO_COLUMNAR=0 python -m pytest tests/test_columnar.py tests/test_batch_ingest.py tests/test_shard_ingest.py tests/test_rebalance.py -q
+	REPRO_COLUMNAR=0 python -m pytest tests/test_columnar.py tests/test_batch_ingest.py tests/test_shard_ingest.py tests/test_rebalance.py tests/test_turnstile.py -q
 	python -m pytest tests/test_serving.py -q
 	REPRO_STAT_TRIALS=60 python -m pytest -m slow -q
 
@@ -60,6 +60,7 @@ bench:
 	python benchmarks/bench_fanout.py
 	python benchmarks/bench_gauntlet.py
 	python benchmarks/bench_serving.py
+	python benchmarks/bench_turnstile.py
 
 bench-fanout:
 	python benchmarks/bench_fanout.py
@@ -70,7 +71,7 @@ bench-fanout:
 profile:
 	python tools/profile_hotpath.py
 
-# Tiny-N smoke of the six seam benchmarks (REPRO_BENCH_SCALE=0.02, one
+# Tiny-N smoke of the seven seam benchmarks (REPRO_BENCH_SCALE=0.02, one
 # repeat): asserts each still *executes and emits valid JSON* — imports,
 # streams, internal bit-identity/exact-count assertions, report schema.  No
 # speedup thresholds: per the bench-box convention, ratios are far too noisy

@@ -37,6 +37,15 @@ expensive resource — transport, decoding, chunking — so it is paid once;
 each backend's reservoir is bit-identical to what a standalone run under
 its derived seed would have produced.
 
+The fifth section lets the feed *take things back*: a fraction of the
+fact tuples is later retracted — late corrections, erasure requests —
+and the synopsis is maintained through a
+:class:`repro.TurnstileReservoirJoin` instead, staying exactly uniform
+over the join results that survive.  A
+:class:`repro.WindowedSampler` then narrows the same turnstile feed to a
+sliding window ("the last N stream items"), where expiry is just
+age-triggered retraction.
+
 The final section makes the pipeline *durable*: the ingestor checkpoints
 every few chunks (``BatchIngestor.save``), the process "crashes", and
 ``BatchIngestor.restore`` resumes in its place — finishing with a reservoir
@@ -231,6 +240,57 @@ def main() -> None:
     BatchIngestor(standalone, chunk_size=CHUNK_SIZE).ingest(clicks)
     identical = fan.backend("dashboard").sample == standalone.sample
     print(f"  dashboard == standalone rerun:     {identical}")
+
+    # ------------------------------------------------------------------ #
+    # Deletions: the feed retracts facts, the synopsis follows
+    # ------------------------------------------------------------------ #
+    # Corrections and erasure requests mean a warehouse feed is rarely
+    # append-only for long.  Derive a turnstile version of the same fact
+    # feed — ~20% of the inserts are later retracted, some retractions
+    # arriving *before* their insert (tombstones) — and maintain the
+    # synopsis through the deletion-capable sampler.  The estimate is now
+    # computed over exactly the facts that survive.
+    from repro import TurnstileReservoirJoin, WindowedSampler, surviving_rows, turnstile_stream
+    from repro.ingest.shard import exact_result_count
+
+    corrected = turnstile_stream(
+        stream, random.Random(17), delete_fraction=0.2, tombstone_fraction=0.1
+    )
+    turnstile_synopsis = TurnstileReservoirJoin(query, k=500, rng=random.Random(18))
+    BatchIngestor(turnstile_synopsis, chunk_size=CHUNK_SIZE).ingest(corrected)
+    turnstile_stats = turnstile_synopsis.statistics()
+
+    surviving_db = Database(query)
+    for relation, rows in surviving_rows(corrected).items():
+        for row in rows:
+            surviving_db.insert(relation, row)
+    exact_surviving = category_shares(join_results(query, surviving_db))
+    estimated_surviving = category_shares(turnstile_synopsis.sample)
+    worst_surviving = max(
+        abs(exact_surviving[c] - estimated_surviving[c]) for c in exact_surviving
+    )
+    print(f"\nturnstile feed ({len(corrected)} items, "
+          f"{turnstile_stats['deletes_applied']} deletes applied, "
+          f"{turnstile_stats['annihilations']} tombstone annihilations):")
+    print(f"  reservoir evictions / refills:     "
+          f"{turnstile_stats['evictions']} / {turnstile_stats['refills']}")
+    print(f"  surviving join results (exact):    {exact_result_count(turnstile_synopsis)}")
+    print(f"  largest estimation error over the surviving join: {worst_surviving:.1%}")
+
+    # Sliding window over the same feed: only the most recent stream items
+    # count.  Expiry at chunk boundaries is ordinary retraction, so the
+    # sample stays exactly uniform over the join *inside the window*.
+    # Window width matters on a dimensions-then-facts feed: too narrow and
+    # the dimension rows every join needs expire out from under the facts.
+    windowed_synopsis = WindowedSampler(
+        query, k=200, window=(7 * len(corrected)) // 10, rng=random.Random(19)
+    )
+    BatchIngestor(windowed_synopsis, chunk_size=CHUNK_SIZE).ingest(corrected)
+    windowed_stats = windowed_synopsis.statistics()
+    print(f"  windowed twin (last {windowed_stats['window']} items): "
+          f"{windowed_stats['rows_in_window']} rows live, "
+          f"{windowed_stats['expirations']} expired, "
+          f"sample size {len(windowed_synopsis.sample)}")
 
     # ------------------------------------------------------------------ #
     # Durability: interval checkpointing and crash recovery

@@ -53,6 +53,24 @@ Every sampler supports three interchangeable ways of consuming a stream:
   the pass is paid once, and with one worker per backend the wall clock is
   the slowest backend instead of the sum.
 
+* **Turnstile** — ``TurnstileReservoirJoin(query, k)``: the stream may
+  *retract* tuples (``sampler.delete(relation, row)``, or
+  ``StreamDelete`` items mixed into any batch).  A deletion removes the row
+  from the dynamic index (``c̃nt`` decrement propagation), evicts join
+  results that died with it from the reservoir, refills uniformly from the
+  survivors and re-anchors the skip state — so the reservoir stays exactly
+  uniform over the *surviving* join results at every boundary.  A delete
+  arriving before its insert plants a tombstone that annihilates the later
+  insert.  ``WindowedSampler(query, k, window)`` builds sliding-window
+  sampling on top: rows older than ``window`` (a count of stream items, or
+  a timestamp horizon with ``mode="timestamp"``) are retracted automatically
+  at chunk boundaries.  Both conform to the same backend seam, so they
+  compose with every mode below — sharded (retractions are hash-routed to
+  the owning shard; broadcast relations broadcast their deletes), fan-out,
+  async, checkpoint/restore and serving.  Use them for feeds with
+  corrections/expirations; the insert-only samplers stay strictly faster on
+  append-only streams.
+
 Two orthogonal add-ons compose with the sharded and fan-out modes:
 
 * **Skew-aware rebalancing** — ``RebalancingIngestor`` wraps a sharded
@@ -89,12 +107,18 @@ in context.
 
 from .relational.query import JoinQuery
 from .relational.schema import KeyConstraint, RelationSchema
-from .relational.stream import StreamTuple
+from .relational.stream import (
+    StreamDelete,
+    StreamTuple,
+    surviving_rows,
+    turnstile_stream,
+)
 from .core.reservoir import ReservoirSampler, SkipReservoirSampler
 from .core.predicate_reservoir import PredicateReservoir
 from .core.predicate_backend import PredicateStreamSampler
 from .core.batch_reservoir import BatchedPredicateReservoir
 from .core.reservoir_join import ReservoirJoin
+from .core.turnstile import TurnstileReservoirJoin, WindowedSampler
 from .core.backend import SamplerBackend
 from .ingest.batch import BatchIngestor
 from .ingest.checkpoint import (
@@ -127,12 +151,17 @@ __all__ = [
     "KeyConstraint",
     "RelationSchema",
     "StreamTuple",
+    "StreamDelete",
+    "turnstile_stream",
+    "surviving_rows",
     "ReservoirSampler",
     "SkipReservoirSampler",
     "PredicateReservoir",
     "PredicateStreamSampler",
     "BatchedPredicateReservoir",
     "ReservoirJoin",
+    "TurnstileReservoirJoin",
+    "WindowedSampler",
     "SamplerBackend",
     "IngestionEngine",
     "BatchIngestor",

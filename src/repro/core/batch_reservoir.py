@@ -214,6 +214,46 @@ class BatchedPredicateReservoir(Generic[T]):
         self.items_total = total
         self.batches_processed += skipped
 
+    def rebase_population(self, sample: "List[T]", population_size: int) -> None:
+        """Replace the reservoir after an out-of-band population change.
+
+        Deletions shrink the *population* the reservoir is supposed to be a
+        uniform sample of — something the insert-only Algorithm 4/5 state
+        machine has no transition for.  The turnstile sampler evicts dead
+        items, refills ``sample`` to ``min(k, population_size)`` uniformly
+        from the survivors, and hands both here; this method installs the new
+        reservoir and *re-anchors* the skip state so the sampler behaves, from
+        now on, exactly like a fresh Algorithm 4 run that had seen precisely
+        the surviving population:
+
+        * ``population_size >= k`` — after ``r`` real items, Algorithm 4's
+          running ``w`` is the ``k``-th largest of ``r`` i.i.d. uniforms,
+          i.e. ``Beta(k, r - k + 1)``, *independent of which items occupy the
+          reservoir*.  So ``w`` is redrawn from ``Beta(k, m' - k + 1)`` with
+          ``m' = population_size`` and a fresh geometric skip is taken.  (At
+          ``m' = k`` this is ``Beta(k, 1)``, the ``u^(1/k)`` the first-fill
+          initialisation uses — the two anchors agree on the boundary.)
+        * ``population_size < k`` — the reservoir now holds the *entire*
+          surviving population, which is the fill-phase invariant; ``w``
+          returns to the uninitialised sentinel and the skip resets, so
+          subsequent arrivals are appended until the reservoir refills.
+        """
+        if population_size < 0:
+            raise ValueError("population size must be non-negative")
+        expected = min(self.k, population_size)
+        if len(sample) != expected:
+            raise ValueError(
+                f"rebased reservoir must hold min(k, population) = {expected} "
+                f"items, got {len(sample)}"
+            )
+        self._sample = list(sample)
+        if population_size >= self.k:
+            self._w = self._rng.betavariate(self.k, population_size - self.k + 1)
+            self._pending_skip = geometric_skip(self._w, self._rng)
+        else:
+            self._w = math.inf
+            self._pending_skip = 0
+
     def snapshot_state(self) -> dict:
         """The sampler's complete resumable state (plain data, no objects).
 

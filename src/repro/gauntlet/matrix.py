@@ -39,9 +39,21 @@ ground-truth universe or against a reference run:
     re-read after the stream finishes to prove snapshot isolation: later
     chunks must not leak into an older epoch cut.
 
+The ``turnstile`` column re-runs every acyclic join scenario over a
+retraction-bearing twin of its stream (deletions of live rows plus
+pre-insert tombstones, via :func:`~repro.gauntlet.scenarios
+.turnstile_variant`) through the deletion-capable sampler, asserting the
+``exact-set+chi-square`` tier against the *surviving* (post-deletion)
+result universe.  The dedicated turnstile scenario additionally flows
+through the ordinary columns — per-tuple, batched, sharded (retractions
+hash-routed to the owning shard), checkpoint-resume (including a windowed
+sub-check), serving — because deletion-capable samplers implement the same
+backend seam.
+
 Cells a mode cannot structurally host — no join query to hash-partition,
-cyclic plans where only acyclic inner ingestors can be rebuilt — are
-reported as ``skip`` with the reason, never silently dropped.
+cyclic plans where only acyclic inner ingestors can be rebuilt, retraction
+streams against insert-only machinery — are reported as ``skip`` with the
+reason, never silently dropped.
 
 Statistical power scales with ``GauntletConfig.trials``; below
 :data:`MIN_CHI_TRIALS` trials the chi-square half of a statistical cell is
@@ -59,14 +71,22 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..bench.harness import measure_seconds
+from ..core.turnstile import WindowedSampler
 from ..ingest.batch import BatchIngestor
 from ..ingest.fanout import FanoutIngestor
 from ..ingest.pipeline import AsyncIngestor
 from ..ingest.rebalance import RebalancingIngestor, SkewMonitor
 from ..ingest.shard import ShardedIngestor
+from ..relational.stream import StreamDelete
 from ..serve import SampleServer
 from ..stats.uniformity import result_key, uniformity_p_value
-from .scenarios import Scenario, _join_universe, build_scenarios
+from .scenarios import (
+    Scenario,
+    _join_universe,
+    _surviving_universe,
+    build_scenarios,
+    turnstile_variant,
+)
 
 #: Column order of the matrix.
 MODES = (
@@ -79,6 +99,7 @@ MODES = (
     "fanout",
     "checkpoint",
     "served",
+    "turnstile",
 )
 
 #: Below this many trials the chi-square approximation is too weak to gate on.
@@ -252,7 +273,10 @@ class ModeMatrix:
     def _run_pertuple(self, scenario: Scenario, k: int, seed: int) -> List[dict]:
         sampler = scenario.make_sampler(k, random.Random(seed))
         for item in scenario.stream:
-            sampler.insert(item.relation, item.row)
+            if isinstance(item, StreamDelete):
+                sampler.delete(item.relation, item.row)
+            else:
+                sampler.insert(item.relation, item.row)
         return list(sampler.sample)
 
     def _run_batched(self, scenario: Scenario, k: int, seed: int) -> List[dict]:
@@ -269,9 +293,10 @@ class ModeMatrix:
             chunk_size=cfg.chunk_size,
             rng=random.Random(seed),
         )
-        if scenario.kind == "cyclic":
+        if scenario.kind in ("cyclic", "turnstile"):
             # The default shard factory builds acyclic ReservoirJoins; cyclic
-            # queries shard through the scenario's own sampler factory.
+            # and turnstile scenarios shard through the scenario's own
+            # (GHD-based resp. deletion-capable) sampler factory.
             kwargs["factory"] = lambda shard, rng: scenario.make_sampler(k, rng)
         return ShardedIngestor(scenario.query, k, **kwargs)
 
@@ -548,6 +573,11 @@ class ModeMatrix:
         """Ground truth of the first ``consumed`` stream tuples — what a
         snapshot at that boundary's epoch must be uniform over."""
         prefix = scenario.stream[:consumed]
+        if scenario.kind == "turnstile":
+            # A prefix of a turnstile stream may truncate delete/insert
+            # annihilation pairs; the surviving-rows replay resolves exactly
+            # what a sampler fed that prefix has stored.
+            return _surviving_universe(scenario.query, prefix)
         if scenario.query is not None:
             return _join_universe(scenario.query, prefix)
         # Predicate scenario: replay the prefix through the scenario's own
@@ -641,6 +671,32 @@ class ModeMatrix:
                 "snapshots_taken": statistics.get("snapshots_taken"),
             },
         )
+
+    def _cell_turnstile(self, scenario: Scenario) -> CellResult:
+        """Exact-set and chi-square uniformity over the *surviving* universe.
+
+        Every acyclic join scenario gets a retraction-bearing twin (the
+        dedicated turnstile scenario rides its own stream): the stream is
+        threaded through :func:`~repro.relational.stream.turnstile_stream`
+        and ingested chunked — exercising the mixed insert/retraction
+        segmentation of ``TurnstileReservoirJoin.ingest_batch`` — then the
+        statistical tier asserts against the post-deletion result set.
+        """
+        cfg = self.config
+        derived = turnstile_variant(scenario, seed=cfg.seed + 7)
+        cell = self._statistical_cell(derived, "turnstile", self._run_batched)
+        cell.scenario = scenario.name
+        deletes = sum(
+            1 for item in derived.stream if isinstance(item, StreamDelete)
+        )
+        cell.detail.update(
+            {
+                "stream_tuples": len(derived.stream),
+                "retractions": deletes,
+                "surviving_universe": derived.universe_size,
+            }
+        )
+        return cell
 
     def _checkpoint_boundary(self, scenario: Scenario) -> int:
         """A mid-stream cut on a chunk boundary (the documented save point:
@@ -775,12 +831,47 @@ class ModeMatrix:
             if list(resumed.target.sampler.sample) != serial:
                 raise CellFailure("async checkpoint-resume diverged")
 
+        def windowed_check() -> None:
+            # Window expiry state (stamp log, local clock) must round-trip:
+            # a count window short enough that expiries continue *after* the
+            # checkpoint boundary proves the restored sampler expires the
+            # same rows the uninterrupted run does.
+            window = max(cfg.chunk_size, len(scenario.stream) // 3)
+
+            def build() -> BatchIngestor:
+                return BatchIngestor(
+                    WindowedSampler(
+                        scenario.query, cfg.k, window=window,
+                        rng=random.Random(cfg.seed), mode="count",
+                    ),
+                    chunk_size=cfg.chunk_size,
+                )
+
+            uninterrupted = build()
+            uninterrupted.ingest(scenario.stream)
+            path = os.path.join(tmp_dir, f"{scenario.name}-windowed.ckpt")
+
+            def finished(resumed: BatchIngestor) -> None:
+                if list(resumed.sampler.sample) != list(
+                    uninterrupted.sampler.sample
+                ):
+                    raise CellFailure("windowed checkpoint-resume diverged")
+                if resumed.sampler.statistics() != uninterrupted.sampler.statistics():
+                    raise CellFailure(
+                        "windowed checkpoint-resume statistics diverged"
+                    )
+
+            roundtrip(BatchIngestor, build, path, finished)
+
         check("batch", batch_check)
         check("fanout", fanout_check)
         check("async", async_check)
-        if scenario.kind == "acyclic" and scenario.query is not None:
+        if scenario.query is not None and scenario.kind in ("acyclic", "turnstile"):
             check("sharded", sharded_check)
+        if scenario.kind == "acyclic" and scenario.query is not None:
             check("rebalancing", rebalancing_check)
+        if scenario.kind == "turnstile":
+            check("windowed", windowed_check)
         return CellResult(
             scenario.name, "checkpoint", "bit-identical", "pass",
             detail={"covered": covered, "cut_at_tuple": cut},
@@ -798,6 +889,19 @@ class ModeMatrix:
             return "no join query to hash-partition (predicate stream)"
         if mode == "rebalancing" and scenario.kind == "cyclic":
             return "rebalancer rebuilds acyclic inner ingestors only"
+        if mode == "rebalancing" and scenario.kind == "turnstile":
+            return (
+                "rebalance planning replays insert-only shard windows; "
+                "migration has no retraction semantics"
+            )
+        if mode == "turnstile":
+            if scenario.query is None:
+                return "no join index to retract from (predicate stream)"
+            if scenario.kind == "cyclic":
+                return (
+                    "turnstile retraction requires the acyclic dynamic "
+                    "index (c̃nt decrement propagation)"
+                )
         if mode == "served" and scenario.query is None:
             # Epoch exact-set needs the *prefix* universe, which for a
             # predicate stream is derivable only from the predicate itself.
@@ -828,6 +932,7 @@ class ModeMatrix:
             "async": self._cell_async,
             "fanout": self._cell_fanout,
             "served": self._cell_served,
+            "turnstile": self._cell_turnstile,
         }
         try:
             if mode == "checkpoint":

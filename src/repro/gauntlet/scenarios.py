@@ -7,7 +7,7 @@ result universe — in exactly the shape the :mod:`~repro.gauntlet.matrix`
 runner needs to drive it through every ingestion mode and check the mode's
 equivalence tier against the truth.
 
-Six scenarios cover the repo's three workload families:
+Seven scenarios cover the repo's workload families:
 
 ========================  =========  ==========================================
 scenario                  kind       source
@@ -17,14 +17,20 @@ scenario                  kind       source
 ``ldbc-q10``              acyclic    :mod:`repro.workloads.ldbc` BI query 10
 ``graph-star3``           acyclic    :mod:`repro.workloads.graph` star query
 ``graph-triangle``        cyclic     :mod:`repro.workloads.graph` triangle
+``graph-turnstile``       turnstile  :mod:`repro.workloads.graph` line-2 +
+                                     :func:`~repro.relational.stream
+                                     .turnstile_stream`
 ``strings-predicate``     predicate  :mod:`repro.workloads.strings` streams
 ========================  =========  ==========================================
 
 ``kind`` determines which modes structurally apply (see
 :data:`~repro.gauntlet.matrix.MODES`): cyclic queries shard only through a
 custom per-shard factory and cannot rebalance (the rebalancer rebuilds
-acyclic inner ingestors), and the predicate scenario has no join query to
-hash-partition at all.
+acyclic inner ingestors), the predicate scenario has no join query to
+hash-partition at all, and turnstile scenarios carry
+:class:`~repro.relational.stream.StreamDelete` retractions that only the
+deletion-capable samplers of :mod:`repro.core.turnstile` can host — their
+ground-truth universe is the join over the *surviving* rows.
 
 Every builder takes a ``scale`` knob (default 1.0) that shrinks the stream
 proportionally — ``REPRO_GAUNTLET_SCALE`` flows through
@@ -40,15 +46,18 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.predicate_backend import PredicateStreamSampler
 from ..core.reservoir_join import ReservoirJoin
+from ..core.turnstile import TurnstileReservoirJoin
 from ..cyclic.cyclic_join import CyclicReservoirJoin
 from ..relational.database import Database
 from ..relational.join import join_results
 from ..relational.query import JoinQuery
-from ..relational.stream import StreamTuple
+from ..relational.stream import StreamTuple, surviving_rows, turnstile_stream
 from ..workloads import graph, ldbc, strings, tpcds
 
 #: Kinds a scenario can declare; the matrix keys structural skips off these.
-KINDS = ("acyclic", "cyclic", "predicate")
+#: ``turnstile`` marks a retraction-bearing stream: the sampler must be
+#: deletion-capable and the universe is the *surviving* join result set.
+KINDS = ("acyclic", "cyclic", "predicate", "turnstile")
 
 
 @dataclass
@@ -121,6 +130,23 @@ def _join_universe(query: JoinQuery, stream: Sequence[StreamTuple]) -> List[Dict
     database = Database(query)
     for item in stream:
         database.insert(item.relation, item.row)
+    return join_results(query, database)
+
+
+def _surviving_universe(
+    query: JoinQuery, stream: Sequence
+) -> List[Dict[str, object]]:
+    """Exhaustive join results over the rows *surviving* a turnstile stream.
+
+    The turnstile twin of :func:`_join_universe`: the reference replay of
+    :func:`~repro.relational.stream.surviving_rows` resolves tombstone
+    semantics (a delete annihilates its matching insert wherever it lands in
+    the stream), and the join is evaluated over exactly the survivors.
+    """
+    database = Database(query)
+    for relation, rows in surviving_rows(stream).items():
+        for row in rows:
+            database.insert(relation, row)
     return join_results(query, database)
 
 
@@ -210,6 +236,93 @@ def graph_triangle(scale: float = 1.0, seed: int = 15) -> Scenario:
     )
 
 
+TURNSTILE_INVARIANTS = (
+    "uniform-surviving", "exact-set", "bit-identity", "checkpoint-resume"
+)
+
+#: Retraction mix of derived turnstile streams (see ``turnstile_variant``).
+TURNSTILE_DELETE_FRACTION = 0.3
+TURNSTILE_TOMBSTONE_FRACTION = 0.1
+
+
+def graph_turnstile(scale: float = 1.0, seed: int = 17) -> Scenario:
+    rng = random.Random(seed)
+    query = graph.line_query(2)
+    inserts = graph.graph_workload(
+        query, max(40, int(80 * scale)), rng, model="uniform"
+    )
+    stream = turnstile_stream(
+        inserts,
+        rng,
+        delete_fraction=TURNSTILE_DELETE_FRACTION,
+        tombstone_fraction=TURNSTILE_TOMBSTONE_FRACTION,
+    )
+
+    def make_sampler(k: int, sampler_rng: random.Random) -> TurnstileReservoirJoin:
+        return TurnstileReservoirJoin(query, k, rng=sampler_rng)
+
+    return Scenario(
+        name="graph-turnstile",
+        kind="turnstile",
+        query=query,
+        stream=stream,
+        make_sampler=make_sampler,
+        universe=_surviving_universe(query, stream),
+        invariants=TURNSTILE_INVARIANTS,
+        description="Line-2 path join over a turnstile edge stream "
+        "(deletions and pre-insert tombstones)",
+    )
+
+
+def turnstile_variant(scenario: Scenario, seed: int = 1719) -> Scenario:
+    """Derive a retraction-bearing twin of an acyclic join scenario.
+
+    The scenario's insert stream is threaded through
+    :func:`~repro.relational.stream.turnstile_stream` (deletions of live
+    rows plus pre-insert tombstones) and the universe is recomputed over the
+    survivors — so the matrix's turnstile column can assert exact-set and
+    chi-square uniformity *against the post-deletion result set* for every
+    acyclic workload, not just the dedicated turnstile scenario.  If the
+    retraction mix empties the join, the delete fraction is halved until a
+    non-empty surviving universe remains (deterministic in ``seed``).
+    """
+    if scenario.kind == "turnstile":
+        return scenario
+    if scenario.query is None or scenario.kind != "acyclic":
+        raise ValueError(
+            f"scenario {scenario.name!r} ({scenario.kind}) has no acyclic "
+            "join to retract from"
+        )
+    fraction = TURNSTILE_DELETE_FRACTION
+    while True:
+        stream = turnstile_stream(
+            scenario.stream,
+            random.Random(seed),
+            delete_fraction=fraction,
+            tombstone_fraction=TURNSTILE_TOMBSTONE_FRACTION,
+        )
+        universe = _surviving_universe(scenario.query, stream)
+        if universe:
+            break
+        fraction /= 2
+
+    query = scenario.query
+
+    def make_sampler(k: int, sampler_rng: random.Random) -> TurnstileReservoirJoin:
+        return TurnstileReservoirJoin(query, k, rng=sampler_rng)
+
+    return Scenario(
+        name=f"{scenario.name}+turnstile",
+        kind="turnstile",
+        query=query,
+        stream=stream,
+        make_sampler=make_sampler,
+        universe=universe,
+        invariants=TURNSTILE_INVARIANTS,
+        description=f"Retraction-bearing twin of {scenario.name}",
+    )
+
+
 class TaggedPredicate:
     """Evaluate an inner predicate on the string of a ``(position, string)``
     pair.
@@ -273,6 +386,7 @@ SCENARIO_BUILDERS: Dict[str, Callable[..., Scenario]] = {
     "ldbc-q10": ldbc_q10,
     "graph-star3": graph_star3,
     "graph-triangle": graph_triangle,
+    "graph-turnstile": graph_turnstile,
     "strings-predicate": strings_predicate,
 }
 
@@ -300,5 +414,7 @@ __all__ = [
     "ldbc_q10",
     "graph_star3",
     "graph_triangle",
+    "graph_turnstile",
     "strings_predicate",
+    "turnstile_variant",
 ]

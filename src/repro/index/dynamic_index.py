@@ -76,6 +76,8 @@ class DynamicJoinIndex:
             )
         self.tuples_inserted = 0
         self.duplicates_ignored = 0
+        self.tuples_deleted = 0
+        self.deletes_ignored = 0
 
     # ------------------------------------------------------------------ #
     # Updates
@@ -109,6 +111,30 @@ class DynamicJoinIndex:
             for tree in self.trees.values():
                 tree.insert_rows(relation, new_rows)
         return new_rows
+
+    def delete(self, relation: str, row: Sequence) -> bool:
+        """Delete a tuple; returns whether it was present.
+
+        The exact mirror of :meth:`insert`: the database (and every
+        maintained relation index / group view) is updated first, then every
+        rooted tree decrements its ``c̃nt`` propagation.  Deleting an absent
+        row is a counted no-op — turnstile tombstone semantics (a delete
+        arriving before its insert annihilates the later insert) live in
+        ``repro.core.turnstile``, above this layer.
+        """
+        row = tuple(row)
+        if not self.database.delete(relation, row):
+            self.deletes_ignored += 1
+            return False
+        self.tuples_deleted += 1
+        for tree in self.trees.values():
+            tree.delete_row(relation, row)
+        return True
+
+    def delete_rows(self, relation: str, rows: Iterable[Sequence]) -> List[tuple]:
+        """Delete several rows from one relation; returns the rows removed."""
+        removed = [row for row in (tuple(r) for r in rows) if self.delete(relation, row)]
+        return removed
 
     # ------------------------------------------------------------------ #
     # Delta batches (operation (3) of Theorem 4.2)

@@ -60,11 +60,21 @@ class GroupView:
         for row in base.rows:
             self._absorb(row)
         base.add_insert_callback(self._absorb)
+        base.add_delete_callback(self._release)
 
     def _absorb(self, row: Tuple) -> None:
         group = self._group_of(row)
         self._feq[group] = self._feq.get(group, 0) + 1
         self.relation.insert(group)
+
+    def _release(self, row: Tuple) -> None:
+        group = self._group_of(row)
+        remaining = self._feq[group] - 1
+        if remaining:
+            self._feq[group] = remaining
+        else:
+            del self._feq[group]
+            self.relation.delete(group)
 
     # ------------------------------------------------------------------ #
     # Queries

@@ -45,6 +45,18 @@ in the fast path; every mode preserves the same guarantee — the reservoir
 is an exactly uniform sample without replacement of the join results of the
 stream prefix at every chunk boundary.
 
+Turnstile streams ride the same seam: chunks may mix
+:class:`~repro.relational.stream.StreamDelete` retractions between the
+inserts when the hosted sampler is deletion-capable
+(:class:`~repro.core.turnstile.TurnstileReservoirJoin`,
+:class:`~repro.core.turnstile.WindowedSampler`).  ``chunk_apply`` probes
+``ingest_batch`` first, so the turnstile samplers segment mixed chunks
+themselves; the sharded router hash-routes each retraction to the shard
+owning the row (broadcast relations broadcast their deletes), and the
+worker-pool transport ships ``StreamDelete`` items through unchanged.  The
+boundary guarantee becomes: exactly uniform over the *surviving* join
+results of the prefix.
+
 Chunk boundaries are also the durability points: the engine-backed
 ingestors checkpoint (``save(path)``) and restore (``Ingestor.restore``)
 through the versioned file format of :mod:`repro.ingest.checkpoint`, with

@@ -77,7 +77,7 @@ from ..core.backend import (
     snapshot_transport,
 )
 from ..relational.join import count_results
-from ..relational.stream import as_relation_rows
+from ..relational.stream import StreamDelete, StreamTuple, as_relation_rows
 
 #: Environment knob selecting the chunk transport: ``slab`` (shared-memory
 #: chunk slabs, the default) or ``pipe`` (inline pickles over the pipe).
@@ -489,7 +489,20 @@ class ShardWorkerPool:
         # the pool's IPC tax on a chunk.  ``ShardedIngestor._route`` already
         # emits pair form, so the common case is a type scan, not a rebuild.
         if not all(type(item) is tuple for item in part):
-            part = as_relation_rows(part)
+            if any(isinstance(item, StreamDelete) for item in part):
+                # Turnstile sub-chunks: retractions must arrive at the worker
+                # as retractions (and in stream order), so inserts are
+                # normalised item-by-item around the StreamDelete objects.
+                part = [
+                    item
+                    if isinstance(item, StreamDelete)
+                    else (item.relation, item.row)
+                    if isinstance(item, StreamTuple)
+                    else (item[0], tuple(item[1]))
+                    for item in part
+                ]
+            else:
+                part = as_relation_rows(part)
         if self.transport == "slab":
             # The slab is reusable only once the worker confirmed it read
             # the previous payload out (the "got" ack, sent pre-ingest).

@@ -63,7 +63,7 @@ from ..core.vectorized import VECTOR_MIN_ROWS
 from ..relational.join import count_results
 from ..relational.query import JoinQuery
 from ..relational.schema import tuple_getter
-from ..relational.stream import ColumnarChunk, StreamTuple, numpy_or_none
+from ..relational.stream import ColumnarChunk, StreamDelete, StreamTuple, numpy_or_none
 from .batch import DEFAULT_CHUNK_SIZE, BatchIngestor
 from .checkpoint import CODEC, CheckpointMismatchError
 from .engine import EngineLane, IngestionEngine
@@ -468,6 +468,10 @@ class ShardedIngestor:
     def _split(
         self, items: Iterable, count: bool
     ) -> List[List[Tuple[str, Tuple]]]:
+        if not isinstance(items, ColumnarChunk):
+            items = list(items)
+            if any(isinstance(item, StreamDelete) for item in items):
+                return self._split_turnstile(items, count)
         chunk = (
             items if isinstance(items, ColumnarChunk) else ColumnarChunk.from_items(items)
         )
@@ -496,6 +500,69 @@ class ShardedIngestor:
                     part.append(pair)
             else:
                 parts[assignment].append(pair)
+        return parts
+
+    def _split_turnstile(
+        self, items: List, count: bool
+    ) -> List[List[Tuple[str, Tuple]]]:
+        """Route a mixed insert/retraction chunk in stream order.
+
+        Retractions follow *exactly* the routing rule of their inserts: a
+        :class:`~repro.relational.stream.StreamDelete` of a partitioned
+        relation goes to the one shard that owns (or will own) the row, and
+        a retraction of a broadcast relation is broadcast — so every replica
+        of the row receives its delete.  Combined with in-order delivery
+        within each shard part, each shard's local state stays equal to the
+        global turnstile state restricted to that shard, which is what the
+        :meth:`merged_sample` partition argument needs.  The items are kept
+        as-is (``StreamDelete`` objects pass through) so the per-shard
+        sampler's ``ingest_batch`` sees retractions as retractions.
+
+        This scalar path only runs for chunks that actually contain a
+        retraction; insert-only chunks keep the columnar fast path of
+        :meth:`_split` untouched.
+        """
+        arities = {schema.name: schema.arity for schema in self.query.relations}
+        normalized: List[Tuple[bool, str, Tuple, object]] = []
+        for item in items:
+            if isinstance(item, StreamDelete):
+                normalized.append((True, item.relation, item.row, item))
+            elif isinstance(item, StreamTuple):
+                normalized.append((False, item.relation, item.row, None))
+            else:
+                relation, row = item
+                normalized.append((False, relation, tuple(row), None))
+        # Whole-chunk validation before any routing state advances, matching
+        # ColumnarChunk.validate / validated_items semantics.
+        for _, relation, row, _ in normalized:
+            arity = arities.get(relation)
+            if arity is None:
+                raise KeyError(
+                    f"relation {relation!r} is not part of query {self.query.name!r}"
+                )
+            if len(row) != arity:
+                raise ValueError(
+                    f"row arity {len(row)} does not match relation "
+                    f"{relation!r} arity {arity}"
+                )
+        num_shards = self.num_shards
+        getters = self._value_getters
+        parts: List[List[Tuple[str, Tuple]]] = [[] for _ in range(num_shards)]
+        for is_delete, relation, row, original in normalized:
+            getter = getters.get(relation)
+            payload = original if is_delete else (relation, row)
+            if getter is None:
+                for part in parts:
+                    part.append(payload)
+            else:
+                parts[stable_shard_hash(getter(row)) % num_shards].append(payload)
+        if count:
+            deliveries = self.relation_deliveries
+            for _, relation, _, _ in normalized:
+                deliveries[relation] += 1
+            # Mixed chunks carry retractions the rebalancing planner has no
+            # move semantics for; never hand it their assignments.
+            self._last_assignments = None
         return parts
 
     def take_last_assignments(self) -> Optional[List[int]]:

@@ -40,6 +40,10 @@ class Database:
         """Insert ``row`` into ``relation``; returns whether the row was new."""
         return self.relations[relation].insert(row)
 
+    def delete(self, relation: str, row: Sequence) -> bool:
+        """Delete ``row`` from ``relation``; returns whether it was present."""
+        return self.relations[relation].delete(row)
+
     def insert_mapping(self, relation: str, values: Mapping[str, object]) -> bool:
         """Insert a row given as an ``{attribute: value}`` mapping."""
         schema = self.relations[relation].schema

@@ -26,9 +26,10 @@ class RelationIndex:
     """A maintained hash index of a relation on an attribute subset.
 
     Maps the canonical projection of a row onto ``attrs`` to the list of rows
-    having that projection, in insertion order.  Lists are append-only (the
-    library follows the paper's insert-only stream model), so positions of
-    rows within a group are stable, which ``Retrieve`` relies on.
+    having that projection.  ``Retrieve`` (Algorithm 9, Case 1) only needs a
+    *bijection* between ``[0, cnt)`` and the group's rows at sampling time,
+    not any particular order, so deletions may compact a group with a
+    swap-with-last removal without breaking positional retrieval.
     """
 
     def __init__(self, relation: "Relation", attrs: Iterable[str]) -> None:
@@ -53,6 +54,21 @@ class RelationIndex:
         groups = self._groups
         for row in rows:
             groups.setdefault(key_of(row), []).append(row)
+
+    def remove(self, row: Row) -> None:
+        """Unregister a deleted row (called by :class:`Relation`).
+
+        O(|group|) for the linear scan; group fan-outs are bounded by the
+        join's per-key multiplicity, which real workloads keep small.
+        """
+        key = self._key_of(row)
+        group = self._groups[key]
+        pos = group.index(row)
+        last = group.pop()
+        if pos < len(group):
+            group[pos] = last
+        if not group:
+            del self._groups[key]
 
     def lookup(self, key: Tuple) -> List[Row]:
         """Rows whose projection equals ``key`` (empty list when none)."""
@@ -84,6 +100,7 @@ class ProjectionView:
         self._key_of = tuple_getter(self._positions)
         self._counts: Dict[Tuple, int] = {}
         self._rows: List[Tuple] = []
+        self._row_positions: Dict[Tuple, int] = {}
         for row in relation.rows:
             self.add(row)
 
@@ -97,9 +114,30 @@ class ProjectionView:
         count = self._counts.get(key, 0)
         self._counts[key] = count + 1
         if count == 0:
+            self._row_positions[key] = len(self._rows)
             self._rows.append(key)
             return key, True
         return key, False
+
+    def remove(self, row: Row) -> Tuple[Tuple, bool]:
+        """Record a base-row delete.  Returns ``(projection, became_absent)``.
+
+        When the last base row carrying a projection disappears, the
+        projection itself is removed from :attr:`rows` (swap-with-last, so
+        the distinct-projection list stays positionally addressable).
+        """
+        key = self._key_of(row)
+        count = self._counts[key]
+        if count > 1:
+            self._counts[key] = count - 1
+            return key, False
+        del self._counts[key]
+        pos = self._row_positions.pop(key)
+        last = self._rows.pop()
+        if pos < len(self._rows):
+            self._rows[pos] = last
+            self._row_positions[last] = pos
+        return key, True
 
     def count(self, key: Tuple) -> int:
         """Multiplicity ``feq`` of a projection (0 when absent)."""
@@ -123,15 +161,21 @@ class Relation:
     Rows are plain tuples ordered by ``schema.attrs``.  Duplicate inserts are
     ignored (the paper assumes duplicates have been removed from the stream;
     we enforce it here so callers do not have to).
+
+    Turnstile streams additionally need :meth:`delete`: rows are stored with
+    a position map so a delete is O(1) amortised (swap-with-last removal from
+    :attr:`rows`), which matters because a sliding window eventually deletes
+    *every* row it ever admitted.
     """
 
     def __init__(self, schema: RelationSchema, rows: Optional[Iterable[Sequence]] = None) -> None:
         self.schema = schema
         self.rows: List[Row] = []
-        self._row_set: set = set()
+        self._row_positions: Dict[Row, int] = {}
         self._indexes: Dict[Tuple[str, ...], RelationIndex] = {}
         self._views: Dict[Tuple[str, ...], ProjectionView] = {}
         self._on_insert: List[Callable[[Row], None]] = []
+        self._on_delete: List[Callable[[Row], None]] = []
         if rows is not None:
             for row in rows:
                 self.insert(row)
@@ -145,7 +189,7 @@ class Relation:
         return len(self.rows)
 
     def __contains__(self, row: Sequence) -> bool:
-        return tuple(row) in self._row_set
+        return tuple(row) in self._row_positions
 
     def __iter__(self) -> Iterator[Row]:
         return iter(self.rows)
@@ -162,15 +206,39 @@ class Relation:
                 f"row arity {len(row)} does not match relation "
                 f"{self.schema.name!r} arity {self.schema.arity}"
             )
-        if row in self._row_set:
+        if row in self._row_positions:
             return False
-        self._row_set.add(row)
+        self._row_positions[row] = len(self.rows)
         self.rows.append(row)
         for index in self._indexes.values():
             index.add(row)
         for view in self._views.values():
             view.add(row)
         for callback in self._on_insert:
+            callback(row)
+        return True
+
+    def delete(self, row: Sequence) -> bool:
+        """Delete a row.  Returns ``True`` if the row was present.
+
+        All registered indexes, projection views and delete callbacks are
+        updated when the row was present; deleting an absent row is a no-op
+        (turnstile tombstone bookkeeping lives above this layer, see
+        ``repro.core.turnstile``).
+        """
+        row = tuple(row)
+        pos = self._row_positions.pop(row, None)
+        if pos is None:
+            return False
+        last = self.rows.pop()
+        if pos < len(self.rows):
+            self.rows[pos] = last
+            self._row_positions[last] = pos
+        for index in self._indexes.values():
+            index.remove(row)
+        for view in self._views.values():
+            view.remove(row)
+        for callback in self._on_delete:
             callback(row)
         return True
 
@@ -191,13 +259,13 @@ class Relation:
                     f"row arity {len(row)} does not match relation "
                     f"{self.schema.name!r} arity {arity}"
                 )
-        row_set = self._row_set
+        positions = self._row_positions
         stored = self.rows
         new_rows: List[Row] = []
         for row in rows:
-            if row in row_set:
+            if row in positions:
                 continue
-            row_set.add(row)
+            positions[row] = len(stored)
             stored.append(row)
             new_rows.append(row)
         if new_rows:
@@ -232,6 +300,10 @@ class Relation:
     def add_insert_callback(self, callback: Callable[[Row], None]) -> None:
         """Register a callback invoked for every *new* row inserted."""
         self._on_insert.append(callback)
+
+    def add_delete_callback(self, callback: Callable[[Row], None]) -> None:
+        """Register a callback invoked for every present row deleted."""
+        self._on_delete.append(callback)
 
     def semijoin(self, attrs: Iterable[str], key: Tuple) -> List[Row]:
         """``R ⋉ key`` where ``key`` is a canonical value tuple over ``attrs``."""

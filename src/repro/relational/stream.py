@@ -54,17 +54,53 @@ class StreamTuple:
         object.__setattr__(self, "row", tuple(self.row))
 
 
+@dataclass(frozen=True)
+class StreamDelete:
+    """One turnstile stream element: delete ``row`` from ``relation``.
+
+    The retraction twin of :class:`StreamTuple`.  Only turnstile-capable
+    consumers (``repro.core.turnstile``) accept these; every insert-only
+    normalisation path rejects them with ``TypeError`` so a retraction can
+    never be silently mis-ingested as an insert.
+    """
+
+    relation: str
+    row: Tuple
+    timestamp: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "row", tuple(self.row))
+
+
+def is_delete(item) -> bool:
+    """Whether a stream item is a retraction (:class:`StreamDelete`)."""
+    return isinstance(item, StreamDelete)
+
+
+def _reject_delete(item) -> None:
+    if isinstance(item, StreamDelete):
+        raise TypeError(
+            f"retraction of {item.row!r} from {item.relation!r} reached an "
+            "insert-only path; route turnstile streams through a "
+            "deletion-capable sampler (repro.TurnstileReservoirJoin / "
+            "repro.WindowedSampler)"
+        )
+
+
 def as_relation_rows(items: Iterable) -> List[Tuple[str, Tuple]]:
     """Normalise a batch of stream items to ``(relation, row_tuple)`` pairs.
 
     Accepts :class:`StreamTuple` instances and plain ``(relation, row)``
     pairs interchangeably, which is what the ``insert_batch`` APIs take.
+    :class:`StreamDelete` items are rejected with ``TypeError`` — this is an
+    insert-only normalisation.
     """
     pairs: List[Tuple[str, Tuple]] = []
     for item in items:
         if isinstance(item, StreamTuple):
             pairs.append((item.relation, item.row))
         else:
+            _reject_delete(item)
             relation, row = item
             pairs.append((relation, tuple(row)))
     return pairs
@@ -146,6 +182,7 @@ class ColumnarChunk:
             if isinstance(item, StreamTuple):
                 relation, row = item.relation, item.row
             else:
+                _reject_delete(item)
                 relation, row = item
                 row = tuple(row)
             index = index_of.get(relation)
@@ -369,6 +406,107 @@ def prefix(stream: Sequence[StreamTuple], fraction: float) -> List[StreamTuple]:
         raise ValueError("fraction must be within [0, 1]")
     cutoff = int(round(len(stream) * fraction))
     return list(stream[:cutoff])
+
+
+def turnstile_stream(
+    inserts: Sequence[StreamTuple],
+    rng: random.Random,
+    delete_fraction: float = 0.25,
+    tombstone_fraction: float = 0.0,
+) -> List:
+    """Derive a turnstile (insert + delete) stream from an insert stream.
+
+    Walks ``inserts`` in order and, after each insert, emits a
+    :class:`StreamDelete` of a uniformly random still-live earlier row with
+    probability ``delete_fraction``.  With probability ``tombstone_fraction``
+    the retraction instead targets a *future* insert — a delete arriving
+    before its insert, which deletion-capable samplers must treat as a
+    tombstone annihilating that later insert.  Timestamps are renumbered
+    consecutively over the merged stream, so count- and timestamp-based
+    windows agree on it.
+    """
+    if not 0.0 <= delete_fraction <= 1.0:
+        raise ValueError("delete_fraction must be within [0, 1]")
+    if not 0.0 <= tombstone_fraction <= 1.0:
+        raise ValueError("tombstone_fraction must be within [0, 1]")
+    inserts = list(inserts)
+    merged: List = []
+    live: List[Tuple[str, Tuple]] = []
+    live_positions: Dict[Tuple[str, Tuple], int] = {}
+    tombstoned: set = set()
+
+    def _remove_live(position: int) -> Tuple[str, Tuple]:
+        target = live[position]
+        last = live.pop()
+        if position < len(live):
+            live[position] = last
+            live_positions[last] = position
+        del live_positions[target]
+        return target
+
+    for offset, item in enumerate(inserts):
+        key = (item.relation, item.row)
+        merged.append(item)
+        if key in tombstoned:
+            # This insert was retracted in advance; it never becomes live.
+            tombstoned.discard(key)
+        elif key not in live_positions:
+            live_positions[key] = len(live)
+            live.append(key)
+        if live and rng.random() < delete_fraction:
+            relation, row = _remove_live(rng.randrange(len(live)))
+            merged.append(StreamDelete(relation, row))
+        if tombstone_fraction and rng.random() < tombstone_fraction:
+            # Retract a future insert: scan forward for one that is neither
+            # live now nor already tombstoned.
+            for future in inserts[offset + 1 :]:
+                future_key = (future.relation, future.row)
+                if future_key not in live_positions and future_key not in tombstoned:
+                    tombstoned.add(future_key)
+                    merged.append(StreamDelete(future.relation, future.row))
+                    break
+    return [
+        type(item)(item.relation, item.row, timestamp)
+        for timestamp, item in enumerate(merged)
+    ]
+
+
+def surviving_rows(stream: Iterable) -> Dict[str, set]:
+    """Replay a turnstile stream to its surviving per-relation row sets.
+
+    The reference semantics every deletion-capable sampler must agree with:
+    a delete of a live row removes it; a delete of an absent row becomes a
+    pending tombstone that annihilates the next insert of that row; an
+    insert of an already-live row is a duplicate and is ignored.  (A live
+    row can never also carry a pending tombstone: deletes of live rows apply
+    immediately, so the two states are mutually exclusive.)
+    """
+    live: Dict[str, set] = {}
+    pending: Dict[Tuple[str, Tuple], int] = {}
+    for item in stream:
+        if isinstance(item, StreamDelete):
+            rows = live.get(item.relation)
+            if rows is not None and item.row in rows:
+                rows.discard(item.row)
+            else:
+                key = (item.relation, item.row)
+                pending[key] = pending.get(key, 0) + 1
+            continue
+        if isinstance(item, StreamTuple):
+            relation, row = item.relation, item.row
+        else:
+            relation, row = item
+            row = tuple(row)
+        key = (relation, row)
+        outstanding = pending.get(key, 0)
+        if outstanding:
+            if outstanding == 1:
+                del pending[key]
+            else:
+                pending[key] = outstanding - 1
+            continue
+        live.setdefault(relation, set()).add(row)
+    return live
 
 
 def checkpoints(stream: Sequence[StreamTuple], parts: int = 10) -> List[int]:

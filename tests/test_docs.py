@@ -1,19 +1,27 @@
 """The documentation must stay executable (docs-can't-rot guard).
 
 The default pytest run performs the *static* half of ``make docs-check``:
-every ``python`` fence in README.md / docs/ARCHITECTURE.md must compile and
-every path referenced by a ``bash`` fence must exist (and compile, for .py
-files) — so renaming a benchmark or test directory fails here even before
-``make docs-check`` executes the runnable fences for real.
+every ``python`` fence in README.md / docs/ARCHITECTURE.md / docs/CONFIG.md
+must compile and every path referenced by a ``bash`` fence must exist (and
+compile, for .py files) — so renaming a benchmark or test directory fails
+here even before ``make docs-check`` executes the runnable fences for real.
+
+A second guard keeps ``docs/CONFIG.md`` authoritative: the set of
+``REPRO_*`` environment knobs it documents must equal the set the source
+tree actually reads — both directions, so an undocumented knob and a stale
+doc entry each fail the default run.
 """
 
 from __future__ import annotations
 
+import re
 import subprocess
 import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+KNOB_RE = re.compile(r"REPRO_[A-Z][A-Z_]*[A-Z]")
 
 
 def run_docs_check(*args):
@@ -36,3 +44,27 @@ def test_docs_check_sees_every_documented_surface():
     assert result.returncode == 0, result.stderr
     checked = int(result.stdout.split("fences checked")[0].split()[-1])
     assert checked >= 8, result.stdout
+
+
+def knobs_in_tree():
+    """Every REPRO_* knob the code actually reads."""
+    found = set()
+    for top in ("src", "tools", "tests", "benchmarks"):
+        for path in (REPO_ROOT / top).rglob("*.py"):
+            if "__pycache__" in path.parts:
+                continue
+            found.update(KNOB_RE.findall(path.read_text()))
+    return found
+
+
+def test_config_reference_matches_source_tree():
+    documented = set(KNOB_RE.findall((REPO_ROOT / "docs" / "CONFIG.md").read_text()))
+    in_tree = knobs_in_tree()
+    undocumented = sorted(in_tree - documented)
+    stale = sorted(documented - in_tree)
+    assert not undocumented, (
+        f"knobs read by the code but missing from docs/CONFIG.md: {undocumented}"
+    )
+    assert not stale, (
+        f"knobs documented in docs/CONFIG.md but read nowhere: {stale}"
+    )

@@ -171,14 +171,16 @@ def test_parallel_cells_assert_bit_identity(fast_report):
         assert cell.detail["pool_transport"] in ("slab", "pipe")
 
 
-def test_checkpoint_column_covers_all_five_durable_modes(fast_report):
+def test_checkpoint_column_covers_all_six_durable_modes(fast_report):
     covered = set()
     for scenario in (s["name"] for s in fast_report.scenarios):
         cell = fast_report.cell(scenario, "checkpoint")
         assert cell.status == "pass"
         assert cell.detail["cut_at_tuple"] % fast_report.config["chunk_size"] == 0
         covered.update(cell.detail["covered"])
-    assert covered == {"batch", "fanout", "async", "sharded", "rebalancing"}
+    assert covered == {
+        "batch", "fanout", "async", "sharded", "rebalancing", "windowed"
+    }
 
 
 def test_served_column_probes_interior_epochs_everywhere(fast_report):

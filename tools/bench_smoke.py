@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Smoke-run the six ingestion/serving-seam benchmarks at tiny scale.
+"""Smoke-run the seven ingestion/serving-seam benchmarks at tiny scale.
 
 CI cannot gate on benchmark *ratios* — on a shared 1-CPU runner the
 measured speedups are noise (the bench-box convention: gate on execution,
@@ -77,6 +77,17 @@ BENCHMARKS = {
             "writer_wall_seconds",
         ),
     ),
+    "benchmarks/bench_turnstile.py": (
+        "BENCH_turnstile.json",
+        (
+            "benchmark",
+            "n_tuples",
+            "n_retractions",
+            "retraction_fraction",
+            "surviving_check",
+            "modes",
+        ),
+    ),
 }
 
 #: report -> {mode row -> fields that must be present and non-null}.  Mode
@@ -119,6 +130,19 @@ MODE_FIELDS = {
             "max_queue_depth",
             "epochs",
         ),
+    },
+    "BENCH_turnstile.json": {
+        "insert_only_batched": ("seconds", "tuples_per_second"),
+        "turnstile_batched": (
+            "seconds",
+            "tuples_per_second",
+            "retraction_tax",
+            "deletes_applied",
+            "evictions",
+            "refills",
+        ),
+        "windowed_batched": ("seconds", "tuples_per_second", "expirations", "window"),
+        "turnstile_sharded": ("seconds", "tuples_per_second", "num_shards"),
     },
 }
 

@@ -40,7 +40,7 @@ from pathlib import Path
 from typing import Iterator, List
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-DOC_FILES = ("README.md", "docs/ARCHITECTURE.md")
+DOC_FILES = ("README.md", "docs/ARCHITECTURE.md", "docs/CONFIG.md")
 SKIP_MARKER = "<!-- docs-check: skip -->"
 EXECUTE_TIMEOUT_SECONDS = 300
 
@@ -172,6 +172,31 @@ def execute(fence: Fence) -> None:
         )
 
 
+def check_no_tracked_bytecode() -> None:
+    """Fail if compiled bytecode ever gets committed under ``src/``.
+
+    ``__pycache__`` directories appear under ``src/`` whenever the package
+    is imported in place; they must stay untracked (a stray ``git add -A``
+    would ship stale ``.pyc`` files that shadow nothing but bloat every
+    clone).  Runs only when a git checkout is actually present.
+    """
+    try:
+        result = subprocess.run(
+            ["git", "ls-files", "src"],
+            cwd=REPO_ROOT, capture_output=True, text=True, timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return
+    if result.returncode != 0:
+        return  # not a git checkout (e.g. a source tarball) — nothing to lint
+    offenders = [
+        line for line in result.stdout.splitlines()
+        if "__pycache__" in line or line.endswith((".pyc", ".pyo"))
+    ]
+    if offenders:
+        fail(f"compiled bytecode is git-tracked under src/: {offenders}")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -180,6 +205,7 @@ def main() -> None:
     )
     args = parser.parse_args()
 
+    check_no_tracked_bytecode()
     checked = executed = 0
     for name in DOC_FILES:
         path = REPO_ROOT / name
