@@ -56,6 +56,7 @@ power-of-two boundary; correctness is unaffected.
 
 from __future__ import annotations
 
+import heapq
 import random
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -376,19 +377,25 @@ class WindowedSampler:
         own clock, so count windows are per-replica — use timestamp windows
         when shards must agree on the horizon.
     ``mode="timestamp"``
-        The window covers rows whose admission timestamp exceeds
+        The window covers rows whose *newest* admission timestamp exceeds
         ``watermark - window``, where the watermark is the monotone maximum
         of the :class:`~repro.relational.stream.StreamTuple` timestamps
-        seen.  Plain ``(relation, row)`` pairs are stamped at the current
-        watermark (they never advance it).
+        seen.  Out-of-order items keep their own event-time stamps — the
+        watermark never rewinds — so a late item landing at or behind the
+        horizon is retracted again at the very next chunk boundary, and a
+        late duplicate of a live row never ages it (stamps only move
+        forward).  Plain ``(relation, row)`` pairs are stamped at the
+        current watermark (they never advance it).
 
     Re-inserting a live row refreshes its stamp (set semantics: the relation
     does not change, only the row's age).  Expiry runs at chunk boundaries —
-    stale stamps are drained from a lazily invalidated min-heap and the
-    resulting retractions go through the inner sampler's delete path, so the
-    eviction/uniformity argument above covers window expiry too.  Explicit
-    :class:`~repro.relational.stream.StreamDelete` items compose with the
-    window (a turnstile stream can also be windowed).
+    the admission log is a lazily invalidated min-heap ordered by stamp:
+    entries are popped while the heap top is at or behind the horizon, and
+    entries superseded by a newer admission of the same row are skipped.
+    The resulting retractions go through the inner sampler's delete path, so
+    the eviction/uniformity argument above covers window expiry too.
+    Explicit :class:`~repro.relational.stream.StreamDelete` items compose
+    with the window (a turnstile stream can also be windowed).
     """
 
     def __init__(
@@ -408,11 +415,13 @@ class WindowedSampler:
         self.mode = mode
         self._inner = TurnstileReservoirJoin(query, k, rng=rng, grouping=grouping)
         self._config = {"mode": mode, "grouping": grouping}
-        #: latest admission stamp per live-or-refreshed (relation, row).
+        #: newest admission stamp per live-or-refreshed (relation, row).
         self._stamps: Dict[Tuple[str, tuple], int] = {}
-        #: admission log in stamp order: ``(stamp, relation, row)``.  Entries
-        #: whose stamp is no longer the row's latest are stale and skipped.
-        self._log: List[Tuple[int, str, tuple]] = []
+        #: admission log: a min-heap of ``(stamp, seq, relation, row)``
+        #: (``seq`` breaks stamp ties without comparing rows).  Entries whose
+        #: stamp is no longer the row's newest are stale and skipped on pop.
+        self._log: List[Tuple[int, int, str, tuple]] = []
+        self._log_seq = 0
         self._clock = 0
         self._watermark = 0
         self.expirations = 0
@@ -469,33 +478,39 @@ class WindowedSampler:
             relation, row = item
             key = (relation, tuple(row))
         stamp = self._stamp_of(item)
-        self._stamps[key] = stamp
-        self._log.append((stamp, key[0], key[1]))
+        # An out-of-order admission never ages a live row: its effective
+        # stamp is the newest timestamp it was ever admitted at.  The log
+        # entry is still pushed; the pop-side staleness check skips it.
+        if stamp >= self._stamps.get(key, stamp):
+            self._stamps[key] = stamp
+        self._log_seq += 1
+        heapq.heappush(self._log, (stamp, self._log_seq, key[0], key[1]))
 
     def _horizon(self) -> int:
         reference = self._clock if self.mode == "count" else self._watermark
         return reference - self.window
 
     def _expire(self) -> int:
-        """Retract every row whose latest stamp fell behind the horizon."""
+        """Retract every row whose newest stamp fell behind the horizon.
+
+        The log is a min-heap on stamp, so out-of-order admissions (a
+        timestamp below the current watermark) are still drained as soon
+        as they fall at or behind the horizon — including items that were
+        already behind it on arrival.
+        """
         horizon = self._horizon()
         expired: List[Tuple[str, tuple]] = []
         log = self._log
-        index = 0
-        for stamp, relation, row in log:
-            if stamp > horizon:
-                break
-            index += 1
+        while log and log[0][0] <= horizon:
+            stamp, _seq, relation, row = heapq.heappop(log)
             key = (relation, row)
             if self._stamps.get(key) != stamp:
-                continue  # refreshed later; this entry is stale
+                continue  # refreshed by a newer admission; entry is stale
             del self._stamps[key]
             # Annihilated or explicitly deleted rows are no longer live;
             # retracting them again would plant a spurious tombstone.
             if row in self._inner.index.database[relation]:
                 expired.append(key)
-        if index:
-            del log[:index]
         if expired:
             self._inner.delete_batch(expired)
             self.expirations += len(expired)
@@ -557,7 +572,13 @@ class WindowedSampler:
                 [relation, list(row), stamp]
                 for (relation, row), stamp in sorted(self._stamps.items())
             ],
-            "log": [[stamp, relation, list(row)] for stamp, relation, row in self._log],
+            # The heap array is serialized verbatim (it is a valid heap in
+            # this order), so a restore continues bit-identically.
+            "log": [
+                [stamp, seq, relation, list(row)]
+                for stamp, seq, relation, row in self._log
+            ],
+            "log_seq": self._log_seq,
             "expirations": self.expirations,
             "inner": self._inner.snapshot_state(),
         }
@@ -579,8 +600,10 @@ class WindowedSampler:
             for relation, row, stamp in state["stamps"]
         }
         self._log = [
-            (stamp, relation, tuple(row)) for stamp, relation, row in state["log"]
+            (stamp, seq, relation, tuple(row))
+            for stamp, seq, relation, row in state["log"]
         ]
+        self._log_seq = state["log_seq"]
         self.expirations = state["expirations"]
 
     @classmethod

@@ -377,6 +377,115 @@ def test_windowed_timestamp_mode_uses_watermark():
     assert sampler.statistics()["expirations"] == 2
 
 
+def test_windowed_timestamp_out_of_order_expiry():
+    """An out-of-order item already at/behind the horizon must be expired
+    at the same chunk boundary, not deferred behind newer log entries (the
+    admission log is a min-heap, not a stamp-ordered list)."""
+    sampler = WindowedSampler(
+        TWO, k=100, window=10, rng=random.Random(0), mode="timestamp"
+    )
+    sampler.ingest_batch([StreamTuple("S", (1, 5), timestamp=20)])
+    # timestamp=1 is behind the horizon (20 - 10 = 10): the row must not
+    # survive the chunk boundary, count as in-window, or feed the sample.
+    sampler.ingest_batch([StreamTuple("R", (1, 1), timestamp=1)])
+    assert set(sampler.index.database["R"].rows) == set()
+    assert set(sampler.index.database["S"].rows) == {(1, 5)}
+    assert sampler.rows_in_window == 1
+    assert sampler.sample == []
+    assert sampler.statistics()["expirations"] == 1
+
+
+def test_windowed_timestamp_out_of_order_within_window():
+    """A late item still inside the window is live, and later expires on
+    its own (event-time) schedule."""
+    sampler = WindowedSampler(
+        TWO, k=100, window=10, rng=random.Random(0), mode="timestamp"
+    )
+    sampler.ingest_batch([StreamTuple("R", (2, 2), timestamp=20)])
+    sampler.ingest_batch([StreamTuple("R", (1, 1), timestamp=15)])  # late, inside
+    assert set(sampler.index.database["R"].rows) == {(2, 2), (1, 1)}
+    assert sampler.rows_in_window == 2
+    # Watermark 26 → horizon 16 expires the stamp-15 row but not stamp-20.
+    sampler.ingest_batch([StreamTuple("S", (1, 9), timestamp=26)])
+    assert set(sampler.index.database["R"].rows) == {(2, 2)}
+    assert sampler.statistics()["expirations"] == 1
+    # Watermark 31 → horizon 21 expires the stamp-20 row too.
+    sampler.ingest_batch([StreamTuple("S", (2, 9), timestamp=31)])
+    assert set(sampler.index.database["R"].rows) == set()
+    assert {result_key(r) for r in sampler.sample} == {
+        result_key(r)
+        for r in join_results(
+            TWO, _database_of({"S": {(1, 9), (2, 9)}})
+        )
+    }
+
+
+def test_windowed_timestamp_late_duplicate_never_ages_row():
+    """Re-admitting a live row with an older timestamp must not shrink its
+    remaining lifetime: the effective stamp is the newest one."""
+    sampler = WindowedSampler(
+        TWO, k=100, window=10, rng=random.Random(0), mode="timestamp"
+    )
+    sampler.ingest_batch([StreamTuple("R", (1, 1), timestamp=20)])
+    sampler.ingest_batch([StreamTuple("R", (1, 1), timestamp=12)])  # late dup
+    assert set(sampler.index.database["R"].rows) == {(1, 1)}
+    assert sampler.statistics()["expirations"] == 0
+    # Horizon 19 is past the stale stamp 12 but not the newest stamp 20.
+    sampler.ingest_batch([StreamTuple("S", (1, 9), timestamp=29)])
+    assert set(sampler.index.database["R"].rows) == {(1, 1)}
+    assert len(sampler.sample) == 1
+    # Horizon 21 finally expires it.
+    sampler.ingest_batch([StreamTuple("S", (2, 9), timestamp=31)])
+    assert set(sampler.index.database["R"].rows) == set()
+    assert sampler.sample == []
+
+
+def test_windowed_timestamp_out_of_order_checkpoint_roundtrip(tmp_path):
+    """Save/restore straddling out-of-order admissions replays identically —
+    the admission-log heap (with its tie-break sequence) rides the snapshot."""
+    stream = [
+        StreamTuple("R", (1, 1), timestamp=5),
+        StreamTuple("S", (1, 5), timestamp=20),
+        StreamTuple("R", (2, 2), timestamp=14),   # late, inside window
+        StreamTuple("R", (3, 3), timestamp=14),   # same stamp: seq tie-break
+        StreamTuple("S", (2, 6), timestamp=3),    # late, behind horizon
+        StreamTuple("R", (2, 2), timestamp=22),   # refresh past the horizon
+        StreamTuple("S", (3, 7), timestamp=27),
+        StreamTuple("S", (2, 8), timestamp=33),
+    ]
+    chunk = 2
+    cut = 4
+
+    def build():
+        return BatchIngestor(
+            WindowedSampler(
+                TWO, k=8, window=10, rng=random.Random(7), mode="timestamp"
+            ),
+            chunk_size=chunk,
+        )
+
+    uninterrupted = build()
+    uninterrupted.ingest(stream)
+    assert uninterrupted.sampler.statistics()["expirations"] > 0
+
+    first = build()
+    first.ingest(stream[:cut])
+    path = tmp_path / "ooo.ckpt"
+    first.save(str(path))
+    resumed = BatchIngestor.restore(str(path))
+    resumed.ingest(stream[cut:])
+    assert list(resumed.sampler.sample) == list(uninterrupted.sampler.sample)
+    assert resumed.sampler.statistics() == uninterrupted.sampler.statistics()
+
+
+def _database_of(rows_by_relation: Dict[str, Set[Tuple]]) -> Database:
+    database = Database(TWO)
+    for relation, rows in rows_by_relation.items():
+        for row in rows:
+            database.insert(relation, row)
+    return database
+
+
 def test_windowed_reinsert_refreshes_stamp():
     sampler = WindowedSampler(TWO, k=10, window=3, rng=random.Random(0))
     sampler.insert("R", (1, 1))          # clock 1
